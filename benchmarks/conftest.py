@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one experiment of DESIGN.md's index (E1–E9) and
+prints the paper-style comparison table through the ``reporter`` fixture,
+which suspends pytest's capture so the tables land in the terminal (and
+in ``bench_output.txt`` when the run is tee'd).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import render_table
+
+
+@pytest.fixture
+def reporter(capsys):
+    """Print an experiment table straight to the terminal."""
+
+    def _report(title, headers, rows):
+        with capsys.disabled():
+            print("\n\n" + render_table(headers, rows, title=title))
+
+    return _report

@@ -1,0 +1,158 @@
+"""E1 — empirical complexity of Schemes 0–3 (paper §4–§7).
+
+Analytical claims under reproduction:
+
+- Scheme 0: O(dav) per transaction — flat in n and m (paper §4);
+- Scheme 1: O(m + n + n·dav) — linear in n (Theorem 4);
+- Scheme 2: O(n²·dav) — quadratic in n (Theorem 6);
+- Scheme 3: O(n²·dav) — quadratic in n (Theorem 9);
+- all schemes: linear in dav.
+
+Steps are counted exactly as the paper counts them: work in ``cond``, in
+``act``, and in re-examining WAIT.  The tables print steps/transaction
+over sweeps of n (concurrently active transactions) and dav, plus the
+fitted log-log growth exponents.
+"""
+
+import pytest
+
+from repro.analysis.complexity import fit_exponent, measure, sweep
+from repro.core import Scheme0, Scheme1, Scheme2, Scheme3
+
+SCHEMES = [Scheme0, Scheme1, Scheme2, Scheme3]
+N_VALUES = [4, 8, 16, 32]
+DAV_VALUES = [1, 2, 4, 8]
+
+#: analytical exponent in n per the paper, with tolerance bands
+EXPECTED_N_EXPONENT = {
+    "scheme0": (0.0, -0.5, 0.4),  # O(dav): flat in n
+    "scheme1": (1.0, 0.5, 1.5),  # O(m + n + n·dav)
+    "scheme2": (2.0, 1.4, 2.6),  # O(n²·dav)
+    "scheme3": (2.0, 1.2, 2.6),  # O(n²·dav)
+}
+
+
+def run_n_sweep():
+    rows = []
+    exponents = {}
+    for factory in SCHEMES:
+        points = sweep(factory, N_VALUES, sites=6, dav=3, seed=1)
+        slope, _ = fit_exponent(
+            [p.n for p in points], [p.steps_per_txn for p in points]
+        )
+        name = points[0].scheme
+        exponents[name] = slope
+        rows.append(
+            [name]
+            + [round(p.steps_per_txn, 1) for p in points]
+            + [round(slope, 2)]
+        )
+    return rows, exponents
+
+
+def run_dav_sweep():
+    rows = []
+    slopes = {}
+    for factory in SCHEMES:
+        points = [
+            measure(factory, transactions=40, sites=8, dav=dav, seed=2)
+            for dav in DAV_VALUES
+        ]
+        slope, _ = fit_exponent(
+            [p.dav for p in points], [p.steps_per_txn for p in points]
+        )
+        name = points[0].scheme
+        slopes[name] = slope
+        rows.append(
+            [name]
+            + [round(p.steps_per_txn, 1) for p in points]
+            + [round(slope, 2)]
+        )
+    return rows, slopes
+
+
+def test_bench_complexity_in_n(benchmark, reporter):
+    rows, exponents = benchmark.pedantic(run_n_sweep, rounds=1, iterations=1)
+    reporter(
+        "E1a — steps/transaction vs n (m=6, dav=3); paper orders: "
+        "S0 O(dav), S1 O(m+n+n*dav), S2/S3 O(n^2*dav)",
+        ["scheme"] + [f"n={n}" for n in N_VALUES] + ["exp(n)"],
+        rows,
+    )
+    for name, (_, low, high) in EXPECTED_N_EXPONENT.items():
+        assert low <= exponents[name] <= high, (
+            f"{name}: fitted n-exponent {exponents[name]:.2f} outside "
+            f"the analytical band [{low}, {high}]"
+        )
+    # the ordering of asymptotic classes: S0 < S1 < S2/S3
+    assert exponents["scheme0"] < exponents["scheme1"] < exponents["scheme2"]
+
+
+def test_bench_complexity_in_dav(benchmark, reporter):
+    rows, slopes = benchmark.pedantic(run_dav_sweep, rounds=1, iterations=1)
+    reporter(
+        "E1b — steps/transaction vs dav (n~8 active, m=8); paper: linear "
+        "in dav for every scheme",
+        ["scheme"] + [f"dav={d}" for d in DAV_VALUES] + ["exp(dav)"],
+        rows,
+    )
+    for name, slope in slopes.items():
+        assert 0.3 <= slope <= 2.2, (
+            f"{name}: dav-exponent {slope:.2f} not roughly linear"
+        )
+
+
+def test_bench_complexity_in_m(benchmark, reporter):
+    """Theorem 4's m term: Scheme 1's TSG traversal visits site nodes,
+    so its steps grow (mildly) with the number of sites at fixed n and
+    dav, while Scheme 0 and Scheme 3 stay flat in m."""
+    m_values = [4, 8, 16, 32]
+
+    def run():
+        rows = []
+        slopes = {}
+        for factory in (Scheme0, Scheme1, Scheme3):
+            points = [
+                measure(factory, transactions=40, sites=m, dav=3, seed=4)
+                for m in m_values
+            ]
+            slope, _ = fit_exponent(
+                [float(m) for m in m_values],
+                [p.steps_per_txn for p in points],
+            )
+            name = points[0].scheme
+            slopes[name] = slope
+            rows.append(
+                [name]
+                + [round(p.steps_per_txn, 1) for p in points]
+                + [round(slope, 2)]
+            )
+        return rows, slopes
+
+    rows, slopes = benchmark.pedantic(run, rounds=1, iterations=1)
+    reporter(
+        "E1c — steps/transaction vs m (n~8 active, dav=3)",
+        ["scheme"] + [f"m={m}" for m in m_values] + ["exp(m)"],
+        rows,
+    )
+    # scheme0's complexity has no m term at all
+    assert slopes["scheme0"] < 0.3
+    # scheme1 (TSG traversal) is at most mildly sensitive to m; what
+    # matters is that it does not blow up super-linearly
+    assert slopes["scheme1"] < 1.3
+
+
+def test_bench_scheme0_kernel(benchmark, reporter):
+    """Raw scheduling kernel speed of the cheapest scheme (steps are the
+    paper's measure; wall-clock is the engineering sanity check)."""
+    from repro.workloads.traces import drive, staggered_trace
+
+    trace = staggered_trace(200, 6, 3, seed=3, window=16)
+    benchmark(lambda: drive(Scheme0(), trace))
+
+
+def test_bench_scheme3_kernel(benchmark, reporter):
+    from repro.workloads.traces import drive, staggered_trace
+
+    trace = staggered_trace(200, 6, 3, seed=3, window=16)
+    benchmark(lambda: drive(Scheme3(), trace))

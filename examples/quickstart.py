@@ -1,0 +1,60 @@
+"""Quickstart: run global transactions over a heterogeneous MDBS.
+
+Three pre-existing local DBMSs — one locking, one timestamp-ordered, one
+graph-testing (which therefore needs tickets) — coordinated by the GTM
+running Scheme 3, the O-scheme that permits all serializable schedules.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GlobalProgram, GTMSystem, make_scheme
+from repro.lmdbs import LocalDBMS, make_protocol
+
+
+def main() -> None:
+    # the pre-existing, autonomous local database systems
+    sites = {
+        "bank": LocalDBMS("bank", make_protocol("strict-2pl"),
+                          initial={"alice": 100, "bob": 50}),
+        "broker": LocalDBMS("broker", make_protocol("to"),
+                            initial={"alice_shares": 10}),
+        "ledger": LocalDBMS("ledger", make_protocol("sgt")),  # ticket site
+    }
+
+    gtm = GTMSystem(sites, make_scheme("scheme3"))
+
+    # global transactions: predeclared (site, kind, item) access lists
+    gtm.submit_global(GlobalProgram.build("G1", [
+        ("bank", "r", "alice"),
+        ("bank", "w", "alice"),
+        ("broker", "w", "alice_shares"),
+        ("ledger", "w", "trade_log"),
+    ]))
+    gtm.submit_global(GlobalProgram.build("G2", [
+        ("broker", "r", "alice_shares"),
+        ("ledger", "w", "audit_log"),
+    ]))
+    gtm.submit_global(GlobalProgram.build("G3", [
+        ("bank", "r", "bob"),
+        ("ledger", "r", "trade_log"),
+    ]))
+
+    gtm.run()
+
+    print("committed:", gtm.committed)
+    print("global aborts (deadlock resolution):", gtm.global_aborts)
+
+    # verification works from the ground-truth local histories, never
+    # from the scheduler's own bookkeeping
+    witness = gtm.verify_serializable()
+    print("globally serializable; witness serial order:", witness)
+    print("ser(S) serializable:", gtm.ser_schedule.is_serializable())
+    print("ser(S):", gtm.ser_schedule)
+
+    # the SGT site issued tickets to every global subtransaction
+    print("ledger ticket counter:",
+          sites["ledger"].storage.committed_value("__ticket__"))
+
+
+if __name__ == "__main__":
+    main()

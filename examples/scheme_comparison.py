@@ -1,0 +1,79 @@
+"""Compare the four schemes (and the prior-work baselines) on a common
+workload — the trade-off surface of the paper's §§4–7 in one table.
+
+For each scheme the table reports the three quantities the paper
+analyzes: scheduling *steps* per transaction (complexity), ser-operation
+*waits* (degree of concurrency), and *aborts* (zero for conservative
+schemes; the price the abort-based baselines pay).
+
+Run:  python examples/scheme_comparison.py
+"""
+
+from repro.analysis.reporting import render_table
+from repro.baselines import (
+    OptimisticTicketMethod,
+    SiteGraphScheme,
+    TimestampGTM,
+    TwoPhaseLockingGTM,
+)
+from repro.core import Scheme0, Scheme1, Scheme2, Scheme3
+from repro.workloads.traces import drive, random_trace
+
+CONTENDERS = {
+    "scheme0 (per-site FIFO)": Scheme0,
+    "scheme1 (TSG)": Scheme1,
+    "scheme2 (TSGD)": Scheme2,
+    "scheme3 (ser_bef)": Scheme3,
+    "site-graph [BS88]": SiteGraphScheme,
+    "otm [GRS91]": OptimisticTicketMethod,
+    "2pl-over-ser(S)": TwoPhaseLockingGTM,
+    "to-over-ser(S)": TimestampGTM,
+}
+
+TRANSACTIONS = 30
+SITES = 4
+DAV = 2
+SEEDS = range(12)
+
+
+def main() -> None:
+    rows = []
+    for label, factory in CONTENDERS.items():
+        steps = waits = aborts = 0
+        for seed in SEEDS:
+            trace = random_trace(TRANSACTIONS, SITES, DAV, seed=seed)
+            result = drive(factory(), trace)
+            steps += result.metrics.steps
+            waits += result.ser_waits
+            aborts += result.abort_count
+        count = len(SEEDS)
+        rows.append(
+            (
+                label,
+                round(steps / (count * TRANSACTIONS), 1),
+                round(waits / count, 1),
+                f"{100 * aborts / (count * TRANSACTIONS):.1f}%",
+            )
+        )
+    print(
+        render_table(
+            ("scheme", "steps/txn", "ser-waits", "abort rate"),
+            rows,
+            title=(
+                f"{TRANSACTIONS} global txns, m={SITES}, dav={DAV}, "
+                f"{len(SEEDS)} random QUEUE orders (per-trace means)"
+            ),
+        )
+    )
+    print()
+    print("Reading guide (paper §§4–7):")
+    print(" - steps/txn grows scheme0 < scheme1 < scheme3 <= scheme2:")
+    print("   O(dav) < O(m+n+n*dav) < O(n^2*dav) — Theorems 4, 6, 9")
+    print(" - ser-waits shrink in the same direction: the complexity buys")
+    print("   concurrency; scheme3 admits every serializable schedule")
+    print(" - conservative schemes never abort; 2PL/TO over ser(S) abort")
+    print("   constantly because every ser-op pair at a site conflicts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim enabling offline legacy editable installs
+(``pip install -e . --no-build-isolation`` without the ``wheel`` package).
+All project metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

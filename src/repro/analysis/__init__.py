@@ -1,0 +1,34 @@
+"""Analysis utilities: empirical complexity measurement, degree-of-
+concurrency comparison, and table rendering for the bench harness."""
+
+from repro.analysis.complexity import (
+    SweepPoint,
+    fit_exponent,
+    growth_exponent,
+    measure,
+    sweep,
+)
+from repro.analysis.concurrency import (
+    ComparisonRow,
+    Dominance,
+    compare,
+    dominance,
+    mean_waits,
+)
+from repro.analysis.reporting import print_table, render_mapping, render_table
+
+__all__ = [
+    "SweepPoint",
+    "fit_exponent",
+    "growth_exponent",
+    "measure",
+    "sweep",
+    "ComparisonRow",
+    "Dominance",
+    "compare",
+    "dominance",
+    "mean_waits",
+    "print_table",
+    "render_mapping",
+    "render_table",
+]

@@ -1,0 +1,115 @@
+"""Empirical complexity measurement (Theorems 4, 6, 9 and Scheme 0's
+O(dav) bound).
+
+The paper measures a scheme's complexity as the average number of steps
+to schedule one transaction.  Every scheme's inner loops call
+``metrics.step()`` once per constant-time unit of work, so replaying a
+trace and dividing total steps by scheduled transactions reproduces the
+paper's measure.  :func:`sweep` runs the measurement over a parameter
+grid; :func:`fit_exponent` estimates the growth exponent from a log-log
+regression, which the complexity benches compare against the analytical
+orders.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.scheme import ConservativeScheme
+from repro.workloads.traces import Trace, drive, staggered_trace
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measurement: parameters and steps/transaction."""
+
+    scheme: str
+    n: int
+    sites: int
+    dav: int
+    steps_per_txn: float
+    waits: int
+
+
+def measure(
+    scheme_factory: Callable[[], ConservativeScheme],
+    transactions: int,
+    sites: int,
+    dav: int,
+    seed: int = 0,
+    window: int = 8,
+) -> SweepPoint:
+    """Steps/transaction for one configuration, using the steady-state
+    staggered trace (≈ *window* concurrently active transactions)."""
+    trace = staggered_trace(transactions, sites, dav, seed=seed, window=window)
+    result = drive(scheme_factory(), trace)
+    return SweepPoint(
+        scheme=result.scheme_name,
+        n=transactions,
+        sites=sites,
+        dav=dav,
+        steps_per_txn=result.metrics.steps_per_transaction(),
+        waits=result.metrics.total_waited,
+    )
+
+
+def sweep(
+    scheme_factory: Callable[[], ConservativeScheme],
+    n_values: Sequence[int],
+    sites: int,
+    dav: int,
+    seed: int = 0,
+    concurrent: bool = True,
+) -> List[SweepPoint]:
+    """Measure steps/transaction as the multiprogramming level grows.
+
+    With ``concurrent=True`` the WAIT window tracks ``n`` (the paper's
+    ``n`` is the number of *concurrently active* transactions), so the
+    data-structure sizes actually grow with ``n``.
+    """
+    points = []
+    for n in n_values:
+        window = 2 * n if concurrent else 8
+        points.append(
+            measure(
+                scheme_factory,
+                transactions=4 * n,
+                sites=sites,
+                dav=dav,
+                seed=seed,
+                window=window,
+            )
+        )
+    return points
+
+
+def fit_exponent(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[float, float]:
+    """Least-squares slope and intercept of log(y) against log(x) —
+    the empirical growth exponent."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(max(y, 1e-12)) for y in ys]
+    n = len(log_x)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    sxx = sum((x - mean_x) ** 2 for x in log_x)
+    sxy = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(log_x, log_y)
+    )
+    slope = sxy / sxx if sxx else 0.0
+    intercept = mean_y - slope * mean_x
+    return slope, intercept
+
+
+def growth_exponent(points: Sequence[SweepPoint], axis: str = "n") -> float:
+    """Fitted exponent of steps/transaction against ``axis`` (``"n"``,
+    ``"sites"``, or ``"dav"``)."""
+    xs = [float(getattr(point, axis)) for point in points]
+    ys = [point.steps_per_txn for point in points]
+    slope, _ = fit_exponent(xs, ys)
+    return slope

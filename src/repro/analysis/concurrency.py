@@ -1,0 +1,101 @@
+"""Degree-of-concurrency comparison (paper §4 and §7).
+
+The paper's definition: scheme ``CC1`` provides a higher degree of
+concurrency than ``CC2`` if, for any insertion order of operations into
+QUEUE, ``CC2`` does not cause *fewer* operations to be added to WAIT
+than ``CC1``.  :func:`compare` replays identical traces against a set of
+schemes and tallies WAIT insertions; :func:`dominance` reduces the
+per-trace tallies to the pairwise relation (dominates / dominated /
+incomparable) the benches report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.scheme import ConservativeScheme
+from repro.workloads.traces import Trace, drive
+
+SchemeFactory = Callable[[], ConservativeScheme]
+
+
+@dataclass
+class ComparisonRow:
+    """Per-trace WAIT tallies for every scheme."""
+
+    trace_label: str
+    ser_waits: Dict[str, int]
+    total_waits: Dict[str, int]
+    aborts: Dict[str, int]
+
+
+def compare(
+    factories: Mapping[str, SchemeFactory],
+    traces: Iterable[Tuple[str, Trace]],
+) -> List[ComparisonRow]:
+    """Replay each labeled trace against every scheme."""
+    rows: List[ComparisonRow] = []
+    for label, trace in traces:
+        ser_waits: Dict[str, int] = {}
+        total_waits: Dict[str, int] = {}
+        aborts: Dict[str, int] = {}
+        for name, factory in factories.items():
+            result = drive(factory(), trace)
+            ser_waits[name] = result.ser_waits
+            total_waits[name] = result.waits
+            aborts[name] = result.abort_count
+        rows.append(ComparisonRow(label, ser_waits, total_waits, aborts))
+    return rows
+
+
+@dataclass
+class Dominance:
+    """Pairwise outcome over a trace population."""
+
+    first: str
+    second: str
+    #: traces where first waited strictly less / more / the same
+    first_better: int
+    second_better: int
+    ties: int
+
+    @property
+    def verdict(self) -> str:
+        if self.second_better == 0 and self.first_better > 0:
+            return f"{self.first} >= {self.second}"
+        if self.first_better == 0 and self.second_better > 0:
+            return f"{self.second} >= {self.first}"
+        if self.first_better and self.second_better:
+            return "incomparable"
+        return "equal"
+
+
+def dominance(
+    rows: Sequence[ComparisonRow], first: str, second: str
+) -> Dominance:
+    """Summarize the pairwise degree-of-concurrency relation between two
+    schemes over the compared traces (ser-operation waits, the paper's
+    quantity of interest)."""
+    first_better = second_better = ties = 0
+    for row in rows:
+        a = row.ser_waits[first]
+        b = row.ser_waits[second]
+        if a < b:
+            first_better += 1
+        elif b < a:
+            second_better += 1
+        else:
+            ties += 1
+    return Dominance(first, second, first_better, second_better, ties)
+
+
+def mean_waits(rows: Sequence[ComparisonRow]) -> Dict[str, float]:
+    """Average ser-operation waits per scheme over the trace population."""
+    if not rows:
+        return {}
+    names = rows[0].ser_waits.keys()
+    return {
+        name: sum(row.ser_waits[name] for row in rows) / len(rows)
+        for name in names
+    }

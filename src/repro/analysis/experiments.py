@@ -1,0 +1,230 @@
+"""Programmatic experiment runner: regenerates the headline numbers of
+every experiment (E1–E9) and renders a markdown report.
+
+The pytest benches in ``benchmarks/`` remain the canonical, asserted
+harness; this module exists so ``python -m repro report`` can produce an
+up-to-date EXPERIMENTS-style document in one command (and so downstream
+users can embed the sweeps in their own studies).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.complexity import fit_exponent, measure, sweep
+from repro.analysis.concurrency import compare, dominance, mean_waits
+from repro.analysis.reporting import render_table
+from repro.baselines import (
+    OptimisticGTM,
+    OptimisticTicketMethod,
+    SiteGraphScheme,
+    TimestampGTM,
+    TwoPhaseLockingGTM,
+)
+from repro.core import Scheme0, Scheme1, Scheme2, Scheme3
+from repro.core.tsgd import TSGD, minimum_delta
+from repro.workloads.traces import (
+    drive,
+    random_trace,
+    serializable_order_trace,
+)
+
+PAPER_SCHEMES = {
+    "scheme0": Scheme0,
+    "scheme1": Scheme1,
+    "scheme2": Scheme2,
+    "scheme3": Scheme3,
+}
+
+
+@dataclass
+class Section:
+    title: str
+    claim: str
+    table: str
+    verdict: str
+
+    def render(self) -> str:
+        return (
+            f"## {self.title}\n\n**Claim.** {self.claim}\n\n"
+            f"```\n{self.table}\n```\n\n**Measured verdict.** "
+            f"{self.verdict}\n"
+        )
+
+
+def experiment_complexity(n_values: Sequence[int] = (4, 8, 16, 32)) -> Section:
+    rows = []
+    exponents = {}
+    for factory in PAPER_SCHEMES.values():
+        points = sweep(factory, list(n_values), sites=6, dav=3, seed=1)
+        slope, _ = fit_exponent(
+            [p.n for p in points], [p.steps_per_txn for p in points]
+        )
+        name = points[0].scheme
+        exponents[name] = slope
+        rows.append(
+            [name]
+            + [round(p.steps_per_txn, 1) for p in points]
+            + [round(slope, 2)]
+        )
+    ok = (
+        exponents["scheme0"] < 0.4
+        and 0.5 < exponents["scheme1"] < 1.5
+        and exponents["scheme2"] > 1.4
+        and exponents["scheme3"] > 1.2
+    )
+    return Section(
+        "E1 — complexity (steps/transaction vs n)",
+        "Scheme 0 O(dav); Scheme 1 O(m+n+n·dav); Schemes 2/3 O(n²·dav) "
+        "(Theorems 4, 6, 9).",
+        render_table(
+            ["scheme"] + [f"n={n}" for n in n_values] + ["exp(n)"], rows
+        ),
+        ("exponents land on the analytical orders"
+         if ok else "MISMATCH — exponents off the analytical orders"),
+    )
+
+
+def experiment_concurrency(traces: int = 20) -> Section:
+    population = [
+        (f"t{seed}", random_trace(30, 4, 2, seed=seed))
+        for seed in range(traces)
+    ]
+    rows = compare(
+        {**PAPER_SCHEMES, "site-graph": SiteGraphScheme}, population
+    )
+    means = mean_waits(rows)
+    table_rows = sorted(
+        ((name, round(value, 2)) for name, value in means.items()),
+        key=lambda row: -row[1],
+    )
+    incomparable = dominance(rows, "scheme1", "scheme2")
+    ok = (
+        means["scheme3"] <= means["scheme2"] <= means["scheme0"]
+        and means["scheme1"] <= means["scheme0"]
+    )
+    return Section(
+        "E2 — degree of concurrency (mean ser-waits/trace)",
+        "Schemes 1, 2 > Scheme 0; Scheme 3 > all; Schemes 1 and 2 "
+        "incomparable (§4, §7).",
+        render_table(("scheme", "mean ser-waits"), table_rows)
+        + f"\n\nscheme1 vs scheme2: {incomparable.verdict} "
+        f"({incomparable.first_better}/{incomparable.second_better}/"
+        f"{incomparable.ties})",
+        "ordering as claimed" if ok else "MISMATCH",
+    )
+
+
+def experiment_permits_all(streams: int = 15) -> Section:
+    totals = {name: 0 for name in PAPER_SCHEMES}
+    for seed in range(streams):
+        trace = serializable_order_trace(25, 4, 2, seed=seed)
+        for name, factory in PAPER_SCHEMES.items():
+            totals[name] += drive(factory(), trace).ser_waits
+    ok = totals["scheme3"] == 0 and all(
+        totals[name] > 0 for name in ("scheme0", "scheme1", "scheme2")
+    )
+    return Section(
+        "E3 — Scheme 3 permits all serializable schedules",
+        "Zero ser-waits on serializable-in-arrival-order streams "
+        "(Theorem 8 corollary).",
+        render_table(
+            ("scheme", "total ser-waits"),
+            [(name, totals[name]) for name in PAPER_SCHEMES],
+        ),
+        "Scheme 3 never waits; BT-schemes do" if ok else "MISMATCH",
+    )
+
+
+def experiment_aborts(traces: int = 6) -> Section:
+    contenders = {
+        **PAPER_SCHEMES,
+        "2pl-gtm": TwoPhaseLockingGTM,
+        "to-gtm": TimestampGTM,
+        "optimistic-gtm": OptimisticGTM,
+    }
+    rows = []
+    rates = {}
+    for name, factory in contenders.items():
+        total = aborted = 0
+        for seed in range(traces):
+            result = drive(factory(), random_trace(25, 3, 2, seed=seed))
+            total += 25
+            aborted += result.abort_count
+        rates[name] = aborted / total
+        rows.append((name, f"{100 * rates[name]:.1f}%"))
+    ok = all(rates[name] == 0 for name in PAPER_SCHEMES) and all(
+        rates[name] > 0.05
+        for name in ("2pl-gtm", "to-gtm", "optimistic-gtm")
+    )
+    return Section(
+        "E7 — conservative vs abort-based GTM2 CC (abort rate)",
+        "Every ser-operation pair at a site conflicts, so abort-based "
+        "CC kills global transactions wholesale (§3).",
+        render_table(("scheme", "abort rate"), rows),
+        "conservative schemes abort nothing; strawmen abort heavily"
+        if ok
+        else "MISMATCH",
+    )
+
+
+def experiment_np_hardness() -> Section:
+    import random as _random
+
+    rows = []
+    for txns in (3, 4, 5, 6):
+        rng = _random.Random(100 + txns)
+        tsgd = TSGD()
+        site_names = ["s0", "s1", "s2"]
+        for index in range(txns):
+            tsgd.insert_transaction(
+                f"G{index}",
+                rng.sample(site_names, rng.randint(1, 3)),
+            )
+        tsgd.insert_transaction("GX", site_names)
+        start = time.perf_counter()
+        tsgd.eliminate_cycles("GX")
+        poly = time.perf_counter() - start
+        start = time.perf_counter()
+        minimum_delta(tsgd, "GX")
+        exact = time.perf_counter() - start
+        rows.append(
+            (txns, round(poly * 1e3, 2), round(exact * 1e3, 2))
+        )
+    ok = rows[-1][2] > rows[0][2]
+    return Section(
+        "E6 — Theorem 7 (minimal Δ is NP-complete)",
+        "Exact minimum-Δ blows up with instance size; Eliminate_Cycles "
+        "stays polynomial.",
+        render_table(("txns", "eliminate (ms)", "exact (ms)"), rows),
+        "exponential-vs-polynomial separation visible" if ok else "MISMATCH",
+    )
+
+
+ALL_EXPERIMENTS: Dict[str, Callable[[], Section]] = {
+    "E1": experiment_complexity,
+    "E2": experiment_concurrency,
+    "E3": experiment_permits_all,
+    "E6": experiment_np_hardness,
+    "E7": experiment_aborts,
+}
+
+
+def render_report(
+    experiments: Sequence[str] = ("E1", "E2", "E3", "E6", "E7"),
+) -> str:
+    """Run the selected experiments and render a markdown report.
+
+    (E4/E5/E8/E9 need the full simulator and live in the pytest bench
+    harness; this quick report covers the trace-driven analytical core.)
+    """
+    sections = [ALL_EXPERIMENTS[name]() for name in experiments]
+    header = (
+        "# Experiment report (auto-generated)\n\n"
+        "Regenerated by `python -m repro report`.  The asserted,\n"
+        "full-coverage harness is `pytest benchmarks/ --benchmark-only`;\n"
+        "see EXPERIMENTS.md for the complete recorded run.\n"
+    )
+    return header + "\n" + "\n".join(section.render() for section in sections)

@@ -1,0 +1,48 @@
+"""Baseline GTM2 schemes: the prior ad-hoc approaches the paper cites
+([BS88] site graph, [GRS91] optimistic ticket method) and the classical
+abort-based schemes §3 argues against (2PL/TO/optimistic over ser(S))."""
+
+from repro.baselines.nonconservative import (
+    NonConservativeScheme,
+    OptimisticGTM,
+    TimestampGTM,
+    TwoPhaseLockingGTM,
+)
+from repro.baselines.site_graph import SiteGraphScheme
+from repro.baselines.ticket_otm import OptimisticTicketMethod
+
+#: 2PL over site locks at the GTM, the "global 2PL" strawman of §3.
+GlobalSiteLocking2PL = TwoPhaseLockingGTM
+
+#: Registry of baseline schemes by name.
+BASELINES = {
+    "site-graph": SiteGraphScheme,
+    "otm": OptimisticTicketMethod,
+    "to-gtm": TimestampGTM,
+    "2pl-gtm": TwoPhaseLockingGTM,
+    "optimistic-gtm": OptimisticGTM,
+}
+
+
+def make_baseline(name: str, **kwargs):
+    """Instantiate a baseline scheme by registry name."""
+    try:
+        factory = BASELINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown baseline {name!r}; known: {sorted(BASELINES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "NonConservativeScheme",
+    "OptimisticGTM",
+    "TimestampGTM",
+    "TwoPhaseLockingGTM",
+    "SiteGraphScheme",
+    "OptimisticTicketMethod",
+    "GlobalSiteLocking2PL",
+    "BASELINES",
+    "make_baseline",
+]

@@ -1,0 +1,270 @@
+"""Non-conservative (abort-based) GTM2 concurrency control.
+
+The paper's §3 argues that classical abort-based schemes are unsuitable
+for GTM2 because *every* pair of ser-operations at a site conflicts, so
+2PL deadlocks and TO/optimistic rejections hit entire global
+transactions.  These classes make that claim measurable (benchmark E7):
+they implement 2PL, TO, and backward-validation optimistic CC directly
+over ``ser(S)`` in the same engine framework, aborting transactions
+instead of waiting conservatively.
+
+An aborted transaction's remaining queue operations are swallowed (the
+real GTM1 would abort it globally and restart it); the committed
+projection of ``ser(S)`` stays serializable, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.events import Ack, Fin, Init, QueueOp, Ser
+from repro.core.scheme import ConservativeScheme
+from repro.exceptions import SchedulerError
+from repro.schedules.serialization_graph import DirectedGraph
+
+
+class NonConservativeScheme(ConservativeScheme):
+    """Base for abort-based GTM2 schemes.
+
+    Tracks ``aborted_transactions``; operations of an aborted transaction
+    pass ``cond`` and are swallowed by ``act`` (GTM1 would purge them).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.aborted_transactions: Set[str] = set()
+
+    def abort(self, transaction_id: str) -> None:
+        self.aborted_transactions.add(transaction_id)
+
+    @property
+    def abort_count(self) -> int:
+        return len(self.aborted_transactions)
+
+    def is_aborted(self, transaction_id: str) -> bool:
+        return transaction_id in self.aborted_transactions
+
+
+class TimestampGTM(NonConservativeScheme):
+    """Basic TO over ``ser(S)``: timestamps at ``init``; a ser-operation
+    arriving at a site after a younger transaction's has executed there
+    aborts its transaction (§3 claim: "a large number of transaction
+    aborts")."""
+
+    name = "to-gtm"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clock = 0
+        self._timestamps: Dict[str, int] = {}
+        #: per site: largest timestamp whose ser executed there
+        self._high_water: Dict[str, int] = {}
+
+    def act_init(self, operation: Init) -> None:
+        self.metrics.step()
+        self._clock += 1
+        self._timestamps[operation.transaction_id] = self._clock
+
+    def cond_ser(self, operation: Ser) -> bool:
+        self.metrics.step()
+        return True
+
+    def act_ser(self, operation: Ser) -> None:
+        transaction_id = operation.transaction_id
+        if self.is_aborted(transaction_id):
+            return
+        self.metrics.step()
+        timestamp = self._timestamps[transaction_id]
+        if timestamp < self._high_water.get(operation.site, 0):
+            self.abort(transaction_id)
+            return
+        self._high_water[operation.site] = timestamp
+        self.submit(operation)
+
+    def act_ack(self, operation: Ack) -> None:
+        self.metrics.step()
+        self.forward(operation)
+
+    def cond_fin(self, operation: Fin) -> bool:
+        self.metrics.step()
+        return True
+
+    def act_fin(self, operation: Fin) -> None:
+        self._timestamps.pop(operation.transaction_id, None)
+
+    def remove_transaction(self, transaction_id: str) -> None:
+        self._timestamps.pop(transaction_id, None)
+
+
+class TwoPhaseLockingGTM(NonConservativeScheme):
+    """2PL over ``ser(S)``: a transaction locks each site at its
+    ser-operation and releases at ``fin``.  Since all ser-operations at a
+    site conflict, the site lock is exclusive; waits-for cycles are
+    resolved by aborting the youngest transaction (§3 claim: "frequent
+    deadlocks")."""
+
+    name = "2pl-gtm"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock_holder: Dict[str, Optional[str]] = {}
+        self._waiters: Dict[str, List[str]] = {}
+        self._ages: Dict[str, int] = {}
+        self._age_counter = 0
+        self.deadlocks = 0
+        #: engine signal: deadlock resolution inside ``cond`` released
+        #: locks, so waiting operations must be re-examined
+        self.rescan_requested = False
+
+    def act_init(self, operation: Init) -> None:
+        self.metrics.step()
+        self._age_counter += 1
+        self._ages[operation.transaction_id] = self._age_counter
+
+    def cond_ser(self, operation: Ser) -> bool:
+        transaction_id, site = operation.transaction_id, operation.site
+        self.metrics.step()
+        if self.is_aborted(transaction_id):
+            return True
+        holder = self._lock_holder.get(site)
+        if holder is None or holder == transaction_id:
+            return True
+        waiters = self._waiters.setdefault(site, [])
+        if transaction_id not in waiters:
+            waiters.append(transaction_id)
+        victim = self._detect_deadlock()
+        if victim is not None:
+            self.deadlocks += 1
+            self.abort(victim)
+            self._release_all(victim)
+            self.rescan_requested = True
+            if victim == transaction_id:
+                return True  # swallowed by act_ser
+        holder = self._lock_holder.get(site)
+        return holder is None or holder == transaction_id
+
+    def act_ser(self, operation: Ser) -> None:
+        transaction_id, site = operation.transaction_id, operation.site
+        if self.is_aborted(transaction_id):
+            self._unwait(transaction_id, site)
+            return
+        self.metrics.step()
+        self._unwait(transaction_id, site)
+        self._lock_holder[site] = transaction_id
+        self.submit(operation)
+
+    def act_ack(self, operation: Ack) -> None:
+        self.metrics.step()
+        self.forward(operation)
+
+    def cond_fin(self, operation: Fin) -> bool:
+        self.metrics.step()
+        return True
+
+    def act_fin(self, operation: Fin) -> None:
+        self._release_all(operation.transaction_id)
+
+    def _unwait(self, transaction_id: str, site: str) -> None:
+        waiters = self._waiters.get(site, [])
+        if transaction_id in waiters:
+            waiters.remove(transaction_id)
+
+    def _release_all(self, transaction_id: str) -> None:
+        for site, holder in list(self._lock_holder.items()):
+            self.metrics.step()
+            if holder == transaction_id:
+                self._lock_holder[site] = None
+        for waiters in self._waiters.values():
+            if transaction_id in waiters:
+                waiters.remove(transaction_id)
+        self._ages.pop(transaction_id, None)
+
+    def _detect_deadlock(self) -> Optional[str]:
+        graph = DirectedGraph()
+        for site, waiters in self._waiters.items():
+            holder = self._lock_holder.get(site)
+            if holder is None:
+                continue
+            for waiter in waiters:
+                self.metrics.step()
+                graph.add_edge(waiter, holder)
+        cycle = graph.find_cycle()
+        if cycle is None:
+            return None
+        return max(cycle, key=lambda txn: (self._ages.get(txn, 0), txn))
+
+    def remove_transaction(self, transaction_id: str) -> None:
+        self._release_all(transaction_id)
+
+
+class OptimisticGTM(NonConservativeScheme):
+    """Backward-validation optimistic CC over ``ser(S)``: ser-operations
+    execute freely; at ``fin`` the transaction validates that its
+    per-site positions do not close a cycle among committed transactions,
+    aborting otherwise.  With tickets at every site this is exactly the
+    Optimistic Ticket Method of [GRS91] — see
+    :mod:`repro.baselines.ticket_otm`."""
+
+    name = "optimistic-gtm"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: per site: committed/active execution order of ser-operations
+        self._site_orders: Dict[str, List[str]] = {}
+        #: validated (committed) transactions
+        self._validated: List[str] = []
+        self._validated_edges = DirectedGraph()
+
+    def act_init(self, operation: Init) -> None:
+        self.metrics.step()
+
+    def cond_ser(self, operation: Ser) -> bool:
+        self.metrics.step()
+        return True
+
+    def act_ser(self, operation: Ser) -> None:
+        if self.is_aborted(operation.transaction_id):
+            return
+        self.metrics.step()
+        self._site_orders.setdefault(operation.site, []).append(
+            operation.transaction_id
+        )
+        self.submit(operation)
+
+    def act_ack(self, operation: Ack) -> None:
+        self.metrics.step()
+        self.forward(operation)
+
+    def cond_fin(self, operation: Fin) -> bool:
+        self.metrics.step()
+        return True
+
+    def act_fin(self, operation: Fin) -> None:
+        transaction_id = operation.transaction_id
+        if self.is_aborted(transaction_id):
+            return
+        # validation: edges between this transaction and previously
+        # validated ones, from the per-site execution orders
+        graph = self._validated_edges.copy()
+        relevant = set(self._validated) | {transaction_id}
+        for order in self._site_orders.values():
+            filtered = [t for t in order if t in relevant]
+            for index, earlier in enumerate(filtered):
+                for later in filtered[index + 1 :]:
+                    self.metrics.step()
+                    if earlier != later:
+                        graph.add_edge(earlier, later)
+        if graph.find_cycle(start=transaction_id) is not None:
+            self.abort(transaction_id)
+            self._purge_orders(transaction_id)
+            return
+        self._validated.append(transaction_id)
+        self._validated_edges = graph
+
+    def _purge_orders(self, transaction_id: str) -> None:
+        for order in self._site_orders.values():
+            while transaction_id in order:
+                order.remove(transaction_id)
+
+    def remove_transaction(self, transaction_id: str) -> None:
+        self._purge_orders(transaction_id)

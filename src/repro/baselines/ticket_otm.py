@@ -1,0 +1,27 @@
+"""The Optimistic Ticket Method (OTM) of Georgakopoulos, Rusinkiewicz &
+Sheth [GRS91].
+
+OTM forces every global subtransaction to take a *ticket* at each site
+(:mod:`repro.lmdbs.protocols.tickets`) and validates at commit time that
+the ticket values obtained at all sites admit one consistent global
+order, aborting the transaction otherwise.
+
+In the ``ser(S)`` framework the ticket write *is* the ser-operation and
+the ticket-value order *is* the per-site ser execution order, so OTM is
+exactly backward-validation optimistic concurrency control over
+``ser(S)`` — implemented by
+:class:`~repro.baselines.nonconservative.OptimisticGTM`.  The subclass
+exists to carry the historical name and the graph-per-validation metrics
+the E8 baseline bench reports.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.nonconservative import OptimisticGTM
+
+
+class OptimisticTicketMethod(OptimisticGTM):
+    """[GRS91] OTM: take tickets everywhere, validate the global ticket
+    order at commit, abort on inconsistency."""
+
+    name = "otm"

@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``
+    Run a randomized MDBS workload through a chosen scheme on the
+    discrete-event simulator, verify global serializability from the
+    local histories, and print the report.
+
+``compare``
+    Replay identical QUEUE traces through several schemes and print the
+    waits/steps/aborts comparison table (the §§4–7 trade-off).
+
+``trace``
+    Replay one trace through one scheme verbosely: every submission in
+    order, plus the resulting ``ser(S)`` and its witness serial order.
+
+Examples
+--------
+::
+
+    python -m repro simulate --scheme scheme3 --sites 4 --globals 20
+    python -m repro compare --schemes scheme0 scheme3 otm --txns 30
+    python -m repro trace --scheme scheme2 --txns 8 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import render_table
+from repro.baselines import BASELINES, make_baseline
+from repro.core import SCHEMES, make_scheme
+from repro.lmdbs import LocalDBMS, PROTOCOLS, make_protocol
+from repro.mdbs import MDBSSimulator, SimulationConfig, verify
+from repro.workloads import WorkloadConfig, WorkloadGenerator
+from repro.workloads.traces import drive, random_trace
+
+ALL_SCHEDULERS = {**SCHEMES, **BASELINES}
+
+
+def _make_scheduler(name: str):
+    if name in SCHEMES:
+        return make_scheme(name)
+    if name in BASELINES:
+        return make_baseline(name)
+    raise SystemExit(
+        f"unknown scheme {name!r}; choose from {sorted(ALL_SCHEDULERS)}"
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = WorkloadConfig(
+        sites=args.sites,
+        items_per_site=args.items,
+        dav=args.dav,
+        ops_per_site=args.ops,
+        theta=args.theta,
+        seed=args.seed,
+    )
+    generator = WorkloadGenerator(config)
+    protocols = (args.protocols or ["strict-2pl", "to", "sgt"]) * args.sites
+    sites = {
+        name: LocalDBMS(name, make_protocol(protocols[index]))
+        for index, name in enumerate(config.site_names)
+    }
+    simulator = MDBSSimulator(
+        sites, _make_scheduler(args.scheme), SimulationConfig(), seed=args.seed
+    )
+    for index, program in enumerate(generator.global_batch(args.globals)):
+        simulator.submit_global(program, at=index * args.spacing)
+    for index, local in enumerate(generator.local_batch(args.locals)):
+        simulator.submit_local(local, at=index * args.spacing / 2)
+    report = simulator.run()
+    verification = verify(simulator.global_schedule(), simulator.ser_schedule)
+    rows = [
+        ("scheme", args.scheme),
+        ("sites", args.sites),
+        ("simulated time", f"{report.duration:.0f}"),
+        ("global committed", f"{report.committed_global}/{args.globals}"),
+        ("global aborts", report.global_aborts),
+        ("local committed", report.committed_local),
+        ("local aborts", report.local_aborts),
+        ("mean response time", f"{report.mean_response_time:.1f}"),
+        ("throughput (txn/kt)", f"{report.throughput * 1000:.2f}"),
+        ("GTM2 steps", report.scheme_steps),
+        ("GTM2 waits", report.scheme_waits),
+        ("globally serializable", verification.ok),
+    ]
+    print(render_table(("metric", "value"), rows, title="simulation report"))
+    if not verification.ok:
+        print(f"!! violation cycle: {' -> '.join(verification.cycle)}")
+        return 1
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for name in args.schemes:
+        _make_scheduler(name)  # validate early
+    for name in args.schemes:
+        waits = ser_waits = steps = aborts = 0
+        for seed in range(args.traces):
+            trace = random_trace(
+                args.txns, args.sites, args.dav, seed=args.seed + seed
+            )
+            result = drive(_make_scheduler(name), trace)
+            waits += result.waits
+            ser_waits += result.ser_waits
+            steps += result.metrics.steps
+            aborts += result.abort_count
+        count = args.traces
+        rows.append(
+            (
+                name,
+                round(steps / (count * args.txns), 1),
+                round(ser_waits / count, 1),
+                round(waits / count, 1),
+                f"{100 * aborts / (count * args.txns):.1f}%",
+            )
+        )
+    print(
+        render_table(
+            ("scheme", "steps/txn", "ser-waits", "all waits", "aborts"),
+            rows,
+            title=(
+                f"{args.txns} txns, m={args.sites}, dav={args.dav}, "
+                f"{args.traces} traces (per-trace means)"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = random_trace(args.txns, args.sites, args.dav, seed=args.seed)
+    print(f"trace ({len(trace)} records):")
+    for record in trace.records:
+        print(f"  {record.kind:>4} {record.transaction_id} {record.sites}")
+    result = drive(_make_scheduler(args.scheme), trace)
+    print(f"\nsubmissions by {args.scheme} (per-site execution order):")
+    for operation in result.submission_order:
+        print(f"  {operation!r}")
+    print(f"\nser-operation waits: {result.ser_waits}")
+    print(f"total waits: {result.waits}")
+    print(f"steps: {result.metrics.steps}")
+    if result.aborted:
+        print(f"aborted: {result.aborted}")
+    print(f"ser(S) serializable: {result.ser_schedule.is_serializable()}")
+    print(f"witness: {result.ser_schedule.witness_order()}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import ALL_EXPERIMENTS, render_report
+
+    names = args.experiments or sorted(ALL_EXPERIMENTS)
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from "
+                f"{sorted(ALL_EXPERIMENTS)}"
+            )
+    text = render_report(names)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multidatabase concurrency control (SIGMOD 1992 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run the MDBS simulator")
+    sim.add_argument("--scheme", default="scheme3", help="GTM2 scheme")
+    sim.add_argument("--sites", type=int, default=3)
+    sim.add_argument("--items", type=int, default=12)
+    sim.add_argument("--dav", type=float, default=2.0)
+    sim.add_argument("--ops", type=int, default=2)
+    sim.add_argument("--theta", type=float, default=0.0, help="Zipf skew")
+    sim.add_argument("--globals", type=int, default=15)
+    sim.add_argument("--locals", type=int, default=20)
+    sim.add_argument("--spacing", type=float, default=3.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--protocols",
+        nargs="*",
+        choices=sorted(PROTOCOLS),
+        help="per-site protocols (cycled)",
+    )
+    sim.set_defaults(func=cmd_simulate)
+
+    cmp_parser = sub.add_parser("compare", help="trace-driven comparison")
+    cmp_parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["scheme0", "scheme1", "scheme2", "scheme3"],
+    )
+    cmp_parser.add_argument("--txns", type=int, default=30)
+    cmp_parser.add_argument("--sites", type=int, default=4)
+    cmp_parser.add_argument("--dav", type=int, default=2)
+    cmp_parser.add_argument("--traces", type=int, default=10)
+    cmp_parser.add_argument("--seed", type=int, default=0)
+    cmp_parser.set_defaults(func=cmd_compare)
+
+    trace_parser = sub.add_parser("trace", help="verbose single-trace replay")
+    trace_parser.add_argument("--scheme", default="scheme2")
+    trace_parser.add_argument("--txns", type=int, default=8)
+    trace_parser.add_argument("--sites", type=int, default=3)
+    trace_parser.add_argument("--dav", type=int, default=2)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.set_defaults(func=cmd_trace)
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate the analytical experiment report"
+    )
+    report_parser.add_argument(
+        "--experiments", nargs="*", help="subset, e.g. E1 E3"
+    )
+    report_parser.add_argument("-o", "--output", help="write to file")
+    report_parser.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""The paper's contribution: GTM2 conservative concurrency-control
+schemes (Schemes 0–3), the Basic_Scheme engine, the TSG/TSGD data
+structures, and the GTM1+GTM2 composition."""
+
+from repro.core.engine import Engine
+from repro.core.events import Ack, Fin, Init, QueueOp, Ser
+from repro.core.gtm import (
+    Access,
+    GlobalProgram,
+    GTMSystem,
+    PlannedOp,
+    STRATEGY_BY_PROTOCOL,
+    TxnState,
+)
+from repro.core.metrics import SchemeMetrics
+from repro.core.recovery import Journal, recover_engine, replay_scheme
+from repro.core.scheme import ConservativeScheme, SchemeContext
+from repro.core.scheme0 import Scheme0
+from repro.core.scheme1 import Scheme1
+from repro.core.scheme2 import Scheme2
+from repro.core.scheme2_minimal import Scheme2Minimal
+from repro.core.scheme3 import Scheme3
+from repro.core.tsg import TransactionSiteGraph
+from repro.core.tsgd import (
+    TSGD,
+    candidate_dependencies,
+    is_minimal_delta,
+    minimum_delta,
+)
+
+#: Registry of the paper's schemes by name (scheme2-minimal is the
+#: intractable ideal of §6, included for the Theorem 7 experiments).
+SCHEMES = {
+    "scheme0": Scheme0,
+    "scheme1": Scheme1,
+    "scheme2": Scheme2,
+    "scheme2-minimal": Scheme2Minimal,
+    "scheme3": Scheme3,
+}
+
+
+def make_scheme(name: str, **kwargs) -> ConservativeScheme:
+    """Instantiate one of the paper's schemes by registry name."""
+    try:
+        factory = SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; known: {sorted(SCHEMES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "Engine",
+    "Ack",
+    "Fin",
+    "Init",
+    "QueueOp",
+    "Ser",
+    "Access",
+    "GlobalProgram",
+    "GTMSystem",
+    "PlannedOp",
+    "STRATEGY_BY_PROTOCOL",
+    "TxnState",
+    "SchemeMetrics",
+    "Journal",
+    "recover_engine",
+    "replay_scheme",
+    "ConservativeScheme",
+    "SchemeContext",
+    "Scheme0",
+    "Scheme1",
+    "Scheme2",
+    "Scheme2Minimal",
+    "Scheme3",
+    "TransactionSiteGraph",
+    "TSGD",
+    "candidate_dependencies",
+    "is_minimal_delta",
+    "minimum_delta",
+    "SCHEMES",
+    "make_scheme",
+]

@@ -1,0 +1,276 @@
+"""The Basic_Scheme event loop (paper Figure 3).
+
+The engine owns QUEUE and WAIT.  It repeatedly selects the operation at
+the front of QUEUE; if the scheme's ``cond`` holds the scheme's ``act``
+runs and WAIT is re-examined until no waiting operation is processable;
+otherwise the operation joins WAIT.
+
+Re-examining WAIT is where the paper's complexity accounting lives: "the
+number of steps required to determine the operations o_l ∈ WAIT for
+which cond(o_l) holds due to the execution of act(o_j)".  A naive full
+rescan would charge every scheme O(|WAIT|) per action and drown the
+analytical differences, so schemes may implement ``wake_hints(o)`` —
+returning which waiting operations the action could have enabled (e.g.
+Scheme 0's ``ack`` enables exactly the new front of one site queue).
+The engine keeps WAIT indexed by (kind, site) so targeted re-examination
+costs only the operations named by the hints; a scheme without hints
+(``wake_hints`` returning ``None``) gets the full rescan.
+
+The engine also implements :class:`~repro.core.scheme.SchemeContext`:
+``act`` implementations submit ser-operations and forward acks through
+it.  Handlers injected at construction decide what "submit to the local
+DBMSs through the servers" means — the trace drivers
+(:mod:`repro.workloads.traces`) make it synchronous, the MDBS simulator
+(:mod:`repro.mdbs.simulator`) makes it an event with latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.events import Ack, Fin, Init, QueueOp, Ser
+from repro.core.scheme import ConservativeScheme, SchemeContext
+from repro.exceptions import SchedulerError
+
+#: Handler invoked when the scheme submits a ser-operation to the sites.
+SubmitHandler = Callable[[Ser], None]
+#: Handler invoked when the scheme forwards an ack to GTM1.
+AckHandler = Callable[[Ack], None]
+
+#: A wake hint: (kind, transaction_id or None, site or None); None acts
+#: as a wildcard.  kind is "init", "ser", or "fin".
+WakeHint = Tuple[str, Optional[str], Optional[str]]
+
+
+def _op_key(operation: QueueOp) -> Tuple[str, Optional[str]]:
+    site = getattr(operation, "site", None)
+    return (operation.kind, site)
+
+
+class Engine(SchemeContext):
+    """Figure 3's ``Basic_Scheme`` procedure as an incremental event loop.
+
+    ``run`` processes QUEUE to exhaustion; new operations may be enqueued
+    while running (e.g. immediate acks), they are processed in order.
+    """
+
+    def __init__(
+        self,
+        scheme: ConservativeScheme,
+        submit_handler: Optional[SubmitHandler] = None,
+        ack_handler: Optional[AckHandler] = None,
+        journal=None,
+        force_full_rescan: bool = False,
+    ) -> None:
+        """``force_full_rescan`` ignores the scheme's wake hints and
+        re-examines the whole WAIT set after every action — the literal
+        Figure 3 semantics, used by differential tests to certify that
+        the hinted fast path is behaviourally identical."""
+        self.scheme = scheme
+        scheme.bind(self)
+        self._submit_handler = submit_handler
+        self._ack_handler = ack_handler
+        self._force_full_rescan = force_full_rescan
+        #: optional :class:`repro.core.recovery.Journal` for
+        #: crash recovery; logs insertions and processed operations
+        self.journal = journal
+        self._queue: Deque[QueueOp] = deque()
+        self._wait: List[QueueOp] = []
+        self._wait_index: Dict[Tuple[str, Optional[str]], List[QueueOp]] = {}
+        self._wait_since: Dict[int, int] = {}
+        self._ticks = 0
+        self._full_rescan_pending = False
+        #: ser-operations submitted, in submission order (per site), used
+        #: to build ser(S) for verification
+        self.submission_log: List[Ser] = []
+
+    # ------------------------------------------------------------------
+    # SchemeContext
+    # ------------------------------------------------------------------
+    def submit_ser(self, operation: Ser) -> None:
+        self.submission_log.append(operation)
+        if self._submit_handler is not None:
+            self._submit_handler(operation)
+
+    def forward_ack(self, operation: Ack) -> None:
+        if self._ack_handler is not None:
+            self._ack_handler(operation)
+
+    # ------------------------------------------------------------------
+    # queue management
+    # ------------------------------------------------------------------
+    def enqueue(self, operation: QueueOp) -> None:
+        if self.journal is not None:
+            self.journal.log_enqueued(operation)
+        self._queue.append(operation)
+
+    def enqueue_all(self, operations: Iterable[QueueOp]) -> None:
+        for operation in operations:
+            self.enqueue(operation)
+
+    @property
+    def wait_set(self) -> Tuple[QueueOp, ...]:
+        return tuple(self._wait)
+
+    @property
+    def queue_size(self) -> int:
+        return len(self._queue)
+
+    def purge_transaction(self, transaction_id: str) -> None:
+        """Drop all queued and waiting operations of a transaction (used
+        when the GTM aborts a global transaction).  Forces a full WAIT
+        rescan on the next run: removing a transaction can enable
+        arbitrary waiting operations."""
+        self._queue = deque(
+            op for op in self._queue if op.transaction_id != transaction_id
+        )
+        for operation in list(self._wait):
+            if operation.transaction_id == transaction_id:
+                self._remove_waiting(operation)
+                self._wait_since.pop(id(operation), None)
+        self._full_rescan_pending = True
+
+    def _add_waiting(self, operation: QueueOp) -> None:
+        self._wait.append(operation)
+        self._wait_index.setdefault(_op_key(operation), []).append(operation)
+        self._wait_since[id(operation)] = self._ticks
+
+    def _remove_waiting(self, operation: QueueOp) -> None:
+        self._wait.remove(operation)
+        bucket = self._wait_index.get(_op_key(operation), [])
+        if operation in bucket:
+            bucket.remove(operation)
+
+    # ------------------------------------------------------------------
+    # Figure 3 loop
+    # ------------------------------------------------------------------
+    def run(self, max_ticks: Optional[int] = None) -> int:
+        """Process QUEUE until empty; returns operations processed.
+
+        ``max_ticks`` bounds the number of processed-or-waited operations
+        (a safety net for tests of unsound ablations that could loop).
+        """
+        processed = 0
+        if self._full_rescan_pending:
+            self._full_rescan_pending = False
+            processed += self._drain_full()
+        while self._queue:
+            if max_ticks is not None and self._ticks >= max_ticks:
+                break
+            operation = self._queue.popleft()
+            self._ticks += 1
+            if self.scheme.cond(operation):
+                processed += 1 + self._perform(operation)
+            else:
+                self.scheme.metrics.note_waited(operation.kind)
+                self._add_waiting(operation)
+                # a cond may mutate scheme state (e.g. an abort-based
+                # scheme killing a deadlock victim); honour its request
+                # to re-examine WAIT even though nothing was processed
+                if self._consume_rescan_request():
+                    processed += self._drain_full()
+        return processed
+
+    def _consume_rescan_request(self) -> bool:
+        if getattr(self.scheme, "rescan_requested", False):
+            self.scheme.rescan_requested = False
+            return True
+        return False
+
+    def _act(self, operation: QueueOp) -> None:
+        if self.journal is not None:
+            self.journal.log_processed(operation)
+        self.scheme.act(operation)
+
+    def _perform(self, operation: QueueOp) -> int:
+        """Run ``act`` and re-examine WAIT per the scheme's wake hints;
+        returns the number of *additional* (previously waiting)
+        operations processed."""
+        self._act(operation)
+        hints = self._hints_for(operation)
+        if hints is None:
+            return self._drain_full()
+        processed = 0
+        worklist: List[WakeHint] = list(hints)
+        while worklist:
+            kind, txn, site = worklist.pop(0)
+            for candidate in self._candidates(kind, txn, site):
+                if candidate not in self._wait:
+                    continue
+                if self.scheme.cond(candidate):
+                    self._remove_waiting(candidate)
+                    waited = self._ticks - self._wait_since.pop(
+                        id(candidate), self._ticks
+                    )
+                    self.scheme.metrics.wait_ticks += max(waited, 0)
+                    self._act(candidate)
+                    processed += 1
+                    follow = self._hints_for(candidate)
+                    if follow is None:
+                        return processed + self._drain_full()
+                    worklist.extend(follow)
+        return processed
+
+    def _hints_for(self, operation: QueueOp) -> Optional[List[WakeHint]]:
+        if self._force_full_rescan:
+            return None
+        hinter = getattr(self.scheme, "wake_hints", None)
+        if hinter is None:
+            return None
+        return hinter(operation)
+
+    def _candidates(
+        self, kind: str, txn: Optional[str], site: Optional[str]
+    ) -> List[QueueOp]:
+        if site is not None or kind in ("fin", "init"):
+            # fin/init operations carry no site, so their index key is
+            # (kind, None) and the lookup stays O(bucket)
+            bucket = list(self._wait_index.get((kind, site), []))
+        else:
+            bucket = [op for op in self._wait if op.kind == kind]
+        if txn is not None:
+            bucket = [op for op in bucket if op.transaction_id == txn]
+        return bucket
+
+    def _drain_full(self) -> int:
+        """Full WAIT rescan to fixpoint (the literal inner while of
+        Figure 3) — used by schemes without wake hints and after
+        transaction purges."""
+        processed = 0
+        progress = True
+        while progress:
+            progress = False
+            for operation in list(self._wait):
+                if operation not in self._wait:
+                    continue  # purged by a reentrant abort
+                if self.scheme.cond(operation):
+                    self._remove_waiting(operation)
+                    waited = self._ticks - self._wait_since.pop(
+                        id(operation), self._ticks
+                    )
+                    self.scheme.metrics.wait_ticks += max(waited, 0)
+                    self._act(operation)
+                    processed += 1
+                    progress = True
+            if not progress and self._consume_rescan_request():
+                progress = True
+        return processed
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def assert_drained(self) -> None:
+        """Raise if operations are stuck in QUEUE or WAIT (a liveness
+        failure of the scheme under test)."""
+        if self._queue or self._wait:
+            raise SchedulerError(
+                f"scheme {self.scheme.name!r} stalled: queue="
+                f"{list(self._queue)!r} wait={self._wait!r}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Engine scheme={self.scheme.name!r} queue={len(self._queue)} "
+            f"wait={len(self._wait)}>"
+        )

@@ -1,0 +1,70 @@
+"""Instrumentation for GTM2 schemes.
+
+The paper analyzes each scheme's *complexity* as the average number of
+steps to schedule one transaction, where steps are counted in ``cond``,
+in ``act``, and in re-examining the WAIT set.  :class:`SchemeMetrics`
+counts exactly those quantities; every scheme calls :meth:`step` from its
+inner loops (one call per constant-time unit of work, e.g. per edge
+visited during cycle detection, per queue element inspected).
+
+It also records the *degree of concurrency* measurements of §4: how many
+operations were inserted into WAIT, and how long they waited (in
+processed-operation ticks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SchemeMetrics:
+    """Step and wait accounting for one scheme run."""
+
+    #: constant-time work units executed by the scheme (cond + act + rescan)
+    steps: int = 0
+    #: operations processed (act executed), by kind
+    processed: Dict[str, int] = field(default_factory=dict)
+    #: operations inserted into WAIT, by kind
+    waited: Dict[str, int] = field(default_factory=dict)
+    #: total processed-operation ticks spent by operations in WAIT
+    wait_ticks: int = 0
+    #: transactions fully scheduled (fin processed)
+    transactions_finished: int = 0
+
+    def step(self, count: int = 1) -> None:
+        self.steps += count
+
+    def note_processed(self, kind: str) -> None:
+        self.processed[kind] = self.processed.get(kind, 0) + 1
+        if kind == "fin":
+            self.transactions_finished += 1
+
+    def note_waited(self, kind: str) -> None:
+        self.waited[kind] = self.waited.get(kind, 0) + 1
+
+    @property
+    def total_processed(self) -> int:
+        return sum(self.processed.values())
+
+    @property
+    def total_waited(self) -> int:
+        return sum(self.waited.values())
+
+    def steps_per_transaction(self) -> float:
+        """The paper's complexity measure: average steps per scheduled
+        transaction."""
+        if self.transactions_finished == 0:
+            return float(self.steps)
+        return self.steps / self.transactions_finished
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "steps": float(self.steps),
+            "processed": float(self.total_processed),
+            "waited": float(self.total_waited),
+            "wait_ticks": float(self.wait_ticks),
+            "transactions": float(self.transactions_finished),
+            "steps_per_txn": self.steps_per_transaction(),
+        }

@@ -1,0 +1,93 @@
+"""Scheme 0 — the conservative-TO-like per-site FIFO scheme (paper §4).
+
+Data structures: one FIFO queue per site.  ``act(init_i)`` enqueues every
+``ser_k(G_i)`` at its site's queue; a ser-operation may be processed only
+when it is at the *front* of its site queue, and it is dequeued when its
+ack arrives.  Transactions are therefore serialized in ``init``-processing
+order, trivially keeping ``ser(S)`` serializable — at the price of the
+lowest degree of concurrency among the paper's schemes.
+
+Complexity: O(dav) per transaction (paper §4) — verified empirically by
+benchmark E1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+from repro.core.events import Ack, Fin, Init, Ser
+from repro.core.scheme import ConservativeScheme
+from repro.exceptions import SchedulerError
+
+
+class Scheme0(ConservativeScheme):
+    """Per-site FIFO queues; serialization order = init order."""
+
+    name = "scheme0"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: site -> FIFO of (transaction_id) keys awaiting execution + ack
+        self._queues: Dict[str, Deque[str]] = {}
+        #: sites registered for each announced transaction
+        self._sites: Dict[str, Tuple[str, ...]] = {}
+
+    # -- init ----------------------------------------------------------------
+    def act_init(self, operation: Init) -> None:
+        self._sites[operation.transaction_id] = operation.sites
+        for site in operation.sites:
+            self.metrics.step()  # one enqueue per ser-operation: O(dav)
+            self._queues.setdefault(site, deque()).append(
+                operation.transaction_id
+            )
+
+    # -- ser -----------------------------------------------------------------
+    def cond_ser(self, operation: Ser) -> bool:
+        self.metrics.step()  # front-of-queue check: O(1)
+        queue = self._queues.get(operation.site)
+        return bool(queue) and queue[0] == operation.transaction_id
+
+    def act_ser(self, operation: Ser) -> None:
+        self.metrics.step()
+        self.submit(operation)
+
+    # -- ack -----------------------------------------------------------------
+    def act_ack(self, operation: Ack) -> None:
+        self.metrics.step()  # dequeue: O(1)
+        queue = self._queues.get(operation.site)
+        if not queue or queue[0] != operation.transaction_id:
+            raise SchedulerError(
+                f"ack {operation!r} does not match the front of the queue "
+                f"for site {operation.site!r}"
+            )
+        queue.popleft()
+        self.forward(operation)
+
+    # -- fin -----------------------------------------------------------------
+    def cond_fin(self, operation: Fin) -> bool:
+        self.metrics.step()
+        return True
+
+    def act_fin(self, operation: Fin) -> None:
+        self.metrics.step()
+        self._sites.pop(operation.transaction_id, None)
+
+    # -- wake hints (paper §4 complexity accounting) -----------------------------
+    def wake_hints(self, operation):
+        """Only an ack can enable a waiting operation, and exactly one:
+        the ser-operation of the new front of that site's queue — the
+        O(1) re-examination the paper's O(dav) bound assumes."""
+        if isinstance(operation, Ack):
+            queue = self._queues.get(operation.site)
+            if queue:
+                return [("ser", queue[0], operation.site)]
+        return []
+
+    # -- fault handling (GTM aborts; see DESIGN.md) ----------------------------
+    def remove_transaction(self, transaction_id: str) -> None:
+        """Purge an aborted transaction from every site queue."""
+        for queue in self._queues.values():
+            while transaction_id in queue:
+                queue.remove(transaction_id)
+        self._sites.pop(transaction_id, None)

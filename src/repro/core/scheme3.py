@@ -1,0 +1,188 @@
+"""Scheme 3 — the O-scheme that permits all serializable schedules
+(paper §7).
+
+Scheme 3 adds restrictions *every time* an ``init_i`` or ``ser_k(G_i)``
+operation is processed — only the minimum needed so that processing the
+next ser-operation cannot make ``ser(S)`` non-serializable.  Its data
+structures:
+
+- ``ser_bef(Ĝ_i)`` — transactions known to be serialized before ``Ĝ_i``,
+  maintained transitively closed;
+- ``last_k`` — the transaction whose ``ser_k`` most recently executed;
+- ``set_k`` — transactions whose ``init`` has been processed but whose
+  ``ser_k`` has not.
+
+Processing ``ser_k(G_i)`` serializes ``G_i`` *after* ``last_k`` (already
+captured via the eager update of waiters' ``ser_bef``) and *before* every
+member of ``set_k``; the condition blocks exactly when that would place a
+transaction both before and after ``G_i``.
+
+Faithfulness notes (see DESIGN.md §4):
+
+- The camera-ready text garbles ``cond(ser_k(G_i))``; from the
+  correctness invariant (``G_i`` never enters ``ser_bef(G_i)``), the
+  liveness lemma, and the permits-all theorem it is reconstructed as
+  (1) ``ser_bef(G_i) ∩ (set_k \\ {G_i}) = ∅`` and (2) the previously
+  submitted ser-operation at ``s_k`` has been acknowledged — the same
+  one-outstanding-operation-per-site rule Scheme 1 states explicitly.
+- ``last_k`` is generalized to the per-site *list* of transactions whose
+  ``ser_k`` executed and that are still registered (the paper's
+  ``last_k`` is its tail).  The list degenerates to the paper's variable
+  in abort-free runs and keeps ordering constraints sound when the GTM
+  aborts a transaction that happened to be ``last_k``.
+
+Theorems 8 (correctness) and 9 (complexity O(n²·dav)) are exercised by
+tests and benchmarks E1–E3; the permits-all property is benchmark E3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.events import Ack, Fin, Init, Ser
+from repro.core.scheme import ConservativeScheme
+from repro.exceptions import SchedulerError
+
+
+class Scheme3(ConservativeScheme):
+    """``ser_bef`` bookkeeping; permits the set of all serializable
+    schedules at O(n²·dav)."""
+
+    name = "scheme3"
+
+    def __init__(self, transitive_update: bool = True) -> None:
+        """``transitive_update=False`` disables the ``Set_2`` propagation
+        — an *unsound* ablation used by tests and benches to show the
+        update is load-bearing."""
+        super().__init__()
+        self._transitive_update = transitive_update
+        #: ser_bef(G_i): transactions serialized before G_i
+        self._ser_bef: Dict[str, Set[str]] = {}
+        #: per site: transactions whose ser_k executed, in execution
+        #: order, still registered (tail = the paper's last_k)
+        self._executed_order: Dict[str, List[str]] = {}
+        #: set_k: init processed, ser_k not yet executed
+        self._set: Dict[str, Set[str]] = {}
+        #: sites of each announced transaction
+        self._sites: Dict[str, Tuple[str, ...]] = {}
+        #: acknowledged ser-operations, as (transaction, site)
+        self._acked: Set[Tuple[str, str]] = set()
+
+    def _last(self, site: str) -> Optional[str]:
+        order = self._executed_order.get(site)
+        return order[-1] if order else None
+
+    # -- init ----------------------------------------------------------------
+    def act_init(self, operation: Init) -> None:
+        transaction_id = operation.transaction_id
+        if transaction_id in self._ser_bef:
+            raise SchedulerError(
+                f"init for {transaction_id!r} processed twice"
+            )
+        self._sites[transaction_id] = operation.sites
+        before: Set[str] = set()
+        for site in operation.sites:
+            self.metrics.step()
+            self._set.setdefault(site, set()).add(transaction_id)
+            last = self._last(site)
+            if last is not None:
+                # ser_bef(G_i) ∪= ser_bef(last_k) ∪ {last_k}
+                for predecessor in self._ser_bef.get(last, ()):
+                    self.metrics.step()
+                    before.add(predecessor)
+                before.add(last)
+        self._ser_bef[transaction_id] = before
+
+    # -- ser -----------------------------------------------------------------
+    def cond_ser(self, operation: Ser) -> bool:
+        transaction_id, site = operation.transaction_id, operation.site
+        if transaction_id not in self._ser_bef:
+            raise SchedulerError(
+                f"ser for unannounced transaction {transaction_id!r}"
+            )
+        last = self._last(site)
+        self.metrics.step()
+        if last is not None and (last, site) not in self._acked:
+            return False
+        waiting_here = self._set.get(site, set())
+        for predecessor in self._ser_bef[transaction_id]:
+            self.metrics.step()
+            if predecessor != transaction_id and predecessor in waiting_here:
+                return False
+        return True
+
+    def act_ser(self, operation: Ser) -> None:
+        transaction_id, site = operation.transaction_id, operation.site
+        members = self._set.get(site, set())
+        members.discard(transaction_id)
+        self._executed_order.setdefault(site, []).append(transaction_id)
+        # Set_1 = ser_bef(G_i) ∪ {G_i}
+        set_one = set(self._ser_bef[transaction_id])
+        set_one.add(transaction_id)
+        # transactions serialized after some member of set_k inherit Set_1
+        targets = set(members)
+        if self._transitive_update:
+            for other, other_before in self._ser_bef.items():
+                self.metrics.step()
+                if other_before & members:
+                    targets.add(other)
+        for target in targets:
+            for entry in set_one:
+                self.metrics.step()
+                self._ser_bef[target].add(entry)
+        self.submit(operation)
+
+    # -- ack -----------------------------------------------------------------
+    def act_ack(self, operation: Ack) -> None:
+        self.metrics.step()
+        self._acked.add((operation.transaction_id, operation.site))
+        self.forward(operation)
+
+    # -- fin -----------------------------------------------------------------
+    def cond_fin(self, operation: Fin) -> bool:
+        self.metrics.step()
+        return not self._ser_bef.get(operation.transaction_id)
+
+    def act_fin(self, operation: Fin) -> None:
+        transaction_id = operation.transaction_id
+        for other_before in self._ser_bef.values():
+            self.metrics.step()
+            other_before.discard(transaction_id)
+        del self._ser_bef[transaction_id]
+        self._forget(transaction_id)
+
+    def _forget(self, transaction_id: str) -> None:
+        for site in self._sites.pop(transaction_id, ()):
+            self.metrics.step()
+            order = self._executed_order.get(site, [])
+            if transaction_id in order:
+                order.remove(transaction_id)
+            self._set.get(site, set()).discard(transaction_id)
+            self._acked.discard((transaction_id, site))
+
+    # -- wake hints (paper §7 complexity accounting) -----------------------------
+    def wake_hints(self, operation):
+        """A ser execution shrinks ``set_k`` and an ack opens the
+        one-outstanding gate — both enable only waiting ser-operations at
+        that site; a fin empties ``ser_bef`` entries, enabling fins."""
+        if isinstance(operation, (Ser, Ack)):
+            return [("ser", None, operation.site)]
+        if isinstance(operation, Fin):
+            return [("fin", None, None)]
+        return []
+
+    # -- fault handling (GTM aborts; see DESIGN.md) ----------------------------
+    def remove_transaction(self, transaction_id: str) -> None:
+        """Purge an aborted transaction.  Constraints it transitively
+        induced remain in other transactions' ``ser_bef`` sets — a sound
+        over-approximation (it can only delay, never mis-order) — and the
+        per-site executed-order list reverts ``last_k`` to the previous
+        still-registered executor."""
+        self._ser_bef.pop(transaction_id, None)
+        for other_before in self._ser_bef.values():
+            other_before.discard(transaction_id)
+        self._forget(transaction_id)
+
+    # -- inspection (tests) ----------------------------------------------------
+    def serialized_before(self, transaction_id: str) -> frozenset:
+        return frozenset(self._ser_bef.get(transaction_id, ()))

@@ -1,0 +1,397 @@
+"""The transaction-site graph with dependencies (TSGD) of Scheme 2
+(paper §6), including the ``Eliminate_Cycles`` procedure (Figure 4), an
+exhaustive dangerous-cycle checker, and the brute-force minimal-Δ search
+that exhibits Theorem 7's NP-hardness empirically.
+
+Representation
+--------------
+A TSGD is ``(V, E, D)``: transaction and site nodes, undirected edges
+``(Ĝ_i, s_k)`` (present iff ``ser_k(G_i) ∈ Ĝ_i``), and *dependencies*
+``(Ĝ_i, s_k) → (s_k, Ĝ_j)`` between edges incident on a common site —
+stored as triples ``(before, site, after)`` meaning "``ser_k(G_before)``
+is processed before ``ser_k(G_after)``".
+
+Cycles
+------
+Edges ``(v_1, v_2), …, (v_k, v_1)``, ``k > 2``, over distinct nodes form
+a *cycle* iff the traversal is dependency-free in at least one direction:
+for every site node ``v_i`` on the cycle, the dependency
+``(v_{i-1}, v_i) → (v_i, v_{i+1})`` (forward) — or, for the other
+direction, ``(v_{i+1}, v_i) → (v_i, v_{i-1})`` — is absent from ``D``.
+Such a cycle is *dangerous*: the serialization orders around it are not
+yet forced to be consistent.  The TSGD is **acyclic** when no dangerous
+cycle exists.
+
+``Eliminate_Cycles`` (Figure 4) returns dependencies Δ — all of the form
+``(Ĝ_j, s_k) → (s_k, Ĝ_i)`` for the newly inserted ``Ĝ_i`` — such that
+``(V, E, D ∪ Δ)`` has no dangerous cycle through ``Ĝ_i``.  Δ need not be
+minimal; deciding non-minimality is NP-complete (Theorem 7), which
+:func:`minimum_delta` demonstrates by exhaustive search.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.metrics import SchemeMetrics
+from repro.exceptions import SchedulerError
+
+#: A dependency (before, site, after): ser_site(before) << ser_site(after).
+Dependency = Tuple[str, str, str]
+
+
+class TSGD:
+    """Transaction-site graph with dependencies."""
+
+    def __init__(self, metrics: Optional[SchemeMetrics] = None) -> None:
+        self._txn_sites: Dict[str, Set[str]] = {}
+        self._site_txns: Dict[str, Set[str]] = {}
+        self._deps: Set[Dependency] = set()
+        self._metrics = metrics or SchemeMetrics()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert_transaction(self, transaction_id: str, sites: Iterable[str]) -> None:
+        if transaction_id in self._txn_sites:
+            raise SchedulerError(
+                f"transaction {transaction_id!r} already in the TSGD"
+            )
+        site_set = set(sites)
+        self._txn_sites[transaction_id] = site_set
+        for site in site_set:
+            self._metrics.step()
+            self._site_txns.setdefault(site, set()).add(transaction_id)
+
+    def remove_transaction(self, transaction_id: str) -> None:
+        sites = self._txn_sites.pop(transaction_id, None)
+        if sites is None:
+            raise SchedulerError(
+                f"transaction {transaction_id!r} not in the TSGD"
+            )
+        for site in sites:
+            self._metrics.step()
+            adjacent = self._site_txns.get(site)
+            if adjacent is not None:
+                adjacent.discard(transaction_id)
+                if not adjacent:
+                    del self._site_txns[site]
+        self._deps = {
+            dep
+            for dep in self._deps
+            if dep[0] != transaction_id and dep[2] != transaction_id
+        }
+
+    def add_dependency(self, before: str, site: str, after: str) -> None:
+        if site not in self._txn_sites.get(before, ()):  # pragma: no cover
+            raise SchedulerError(
+                f"no edge ({before!r}, {site!r}) for dependency"
+            )
+        if site not in self._txn_sites.get(after, ()):  # pragma: no cover
+            raise SchedulerError(
+                f"no edge ({after!r}, {site!r}) for dependency"
+            )
+        self._metrics.step()
+        self._deps.add((before, site, after))
+
+    def add_dependencies(self, deps: Iterable[Dependency]) -> None:
+        for before, site, after in deps:
+            self.add_dependency(before, site, after)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def transactions(self) -> Tuple[str, ...]:
+        return tuple(self._txn_sites)
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        return tuple(self._site_txns)
+
+    @property
+    def dependencies(self) -> FrozenSet[Dependency]:
+        return frozenset(self._deps)
+
+    def sites_of(self, transaction_id: str) -> frozenset:
+        return frozenset(self._txn_sites.get(transaction_id, ()))
+
+    def transactions_at(self, site: str) -> frozenset:
+        return frozenset(self._site_txns.get(site, ()))
+
+    def has_transaction(self, transaction_id: str) -> bool:
+        return transaction_id in self._txn_sites
+
+    def has_dependency(self, before: str, site: str, after: str) -> bool:
+        return (before, site, after) in self._deps
+
+    def incoming_dependencies(self, transaction_id: str) -> Tuple[Dependency, ...]:
+        return tuple(dep for dep in self._deps if dep[2] == transaction_id)
+
+    def outgoing_dependencies(self, transaction_id: str) -> Tuple[Dependency, ...]:
+        return tuple(dep for dep in self._deps if dep[0] == transaction_id)
+
+    # ------------------------------------------------------------------
+    # Figure 4: Eliminate_Cycles
+    # ------------------------------------------------------------------
+    def eliminate_cycles(self, transaction_id: str) -> Set[Dependency]:
+        """Return Δ such that ``(V, E, D ∪ Δ)`` has no dangerous cycle
+        involving *transaction_id* (the paper's ``Eliminate_Cycles``).
+
+        The traversal walks transaction nodes (site nodes are crossed, not
+        visited), marking each non-root edge "used" at most once; closing
+        a walk back at the root adds the dependency
+        ``(v, u) → (u, Ĝ_i)`` that orders the neighbouring transaction's
+        ser-operation before the root's, breaking the cycle.
+        """
+        if transaction_id not in self._txn_sites:
+            raise SchedulerError(
+                f"transaction {transaction_id!r} not in the TSGD"
+            )
+        used: Set[Tuple[str, str]] = set()  # edges (txn, site) marked used
+        s_par: Dict[str, List[str]] = {t: [] for t in self._txn_sites}
+        t_par: Dict[str, List[str]] = {t: [] for t in self._txn_sites}
+        delta: Set[Dependency] = set()
+        # Per-node candidate cursors: the eligibility conditions of
+        # Figure 4's step 2 are *monotone* (used-marks and dependencies
+        # only accumulate), so a pair rejected for one of those reasons
+        # never becomes eligible again and can be dropped permanently.
+        # Only the "came through this site" test depends on the current
+        # visit, so such pairs go to a deferred list that is re-examined
+        # on later visits.  This is what keeps the procedure within the
+        # paper's O(n²·dav) bound (Theorem 6) instead of rescanning every
+        # candidate on every visit.
+        remaining: Dict[str, List[Tuple[str, str]]] = {}
+        deferred: Dict[str, List[Tuple[str, str]]] = {}
+        v = transaction_id
+
+        while True:
+            pair = self._choose_pair(
+                v, transaction_id, used, delta, s_par, remaining, deferred
+            )
+            if pair is not None:
+                u, w = pair
+                used.add((w, u))
+                if w == transaction_id:
+                    self._metrics.step()
+                    delta.add((v, u, transaction_id))
+                else:
+                    s_par[w].insert(0, u)
+                    t_par[w].insert(0, v)
+                    v = w
+                continue
+            if v != transaction_id:
+                # step 4: backtrack to the transaction we came from
+                self._metrics.step()
+                temp = t_par[v][0]
+                t_par[v] = t_par[v][1:]
+                s_par[v] = s_par[v][1:]
+                v = temp
+                continue
+            return delta
+
+    def _all_pairs(self, v: str) -> List[Tuple[str, str]]:
+        """All candidate pairs ``(u, w)`` of distinct edges
+        ``(v, u), (u, w)`` at node *v*, in deterministic order."""
+        pairs: List[Tuple[str, str]] = []
+        for u in sorted(self._txn_sites.get(v, ())):
+            for w in sorted(self._site_txns.get(u, ())):
+                if w != v:
+                    pairs.append((u, w))
+        return pairs
+
+    def _choose_pair(
+        self,
+        v: str,
+        root: str,
+        used: Set[Tuple[str, str]],
+        delta: Set[Dependency],
+        s_par: Dict[str, List[str]],
+        remaining: Dict[str, List[Tuple[str, str]]],
+        deferred: Dict[str, List[Tuple[str, str]]],
+    ) -> Optional[Tuple[str, str]]:
+        """Steps 2–3 of Figure 4: an eligible pair ``(u, w)`` at node
+        *v*, or ``None``.  Consumes the node's candidate cursor."""
+        arrival = s_par[v][0] if s_par[v] else None
+        if v not in remaining:
+            remaining[v] = self._all_pairs(v)
+            deferred[v] = []
+
+        def examine(queue: List[Tuple[str, str]]) -> Optional[Tuple[str, str]]:
+            defer_again: List[Tuple[str, str]] = []
+            chosen: Optional[Tuple[str, str]] = None
+            while queue:
+                self._metrics.step()
+                u, w = queue.pop(0)
+                if w != root and (w, u) in used:
+                    continue  # permanently blocked
+                if (v, u, w) in self._deps or (v, u, w) in delta:
+                    continue  # permanently blocked (deps only grow)
+                if u == arrival:
+                    defer_again.append((u, w))
+                    continue  # visit-dependent: re-examine next time
+                chosen = (u, w)
+                break
+            deferred[v].extend(defer_again)
+            return chosen
+
+        staged = deferred[v]
+        deferred[v] = []
+        pair = examine(staged)
+        if pair is not None:
+            # unexamined staged entries stay deferred for later visits
+            deferred[v].extend(staged)
+            return pair
+        return examine(remaining[v])
+
+    # ------------------------------------------------------------------
+    # exhaustive cycle analysis (testing / Theorem 7)
+    # ------------------------------------------------------------------
+    def simple_cycles_through(
+        self, transaction_id: str, limit: int = 100000
+    ) -> Iterator[Tuple[str, ...]]:
+        """Yield simple cycles through *transaction_id* as alternating
+        node sequences ``(t_1=Ĝ_i, s_1, t_2, s_2, …, t_p, s_p)``.
+
+        Each undirected cycle is yielded once per direction; callers that
+        want set-of-edges uniqueness deduplicate.  Exponential — for tests
+        and the brute-force search only.
+        """
+        count = 0
+        root = transaction_id
+        path: List[str] = [root]  # alternating txn, site, txn, ...
+
+        def walk() -> Iterator[Tuple[str, ...]]:
+            nonlocal count
+            current = path[-1]
+            for site in sorted(self._txn_sites.get(current, ())):
+                if site in path:
+                    continue
+                for txn in sorted(self._site_txns.get(site, ())):
+                    if txn == current:
+                        continue
+                    if txn == root:
+                        if len(path) >= 3:
+                            count += 1
+                            if count > limit:
+                                raise SchedulerError(
+                                    "cycle enumeration limit exceeded"
+                                )
+                            yield tuple(path + [site])
+                        continue
+                    if txn in path:
+                        continue
+                    path.append(site)
+                    path.append(txn)
+                    yield from walk()
+                    path.pop()
+                    path.pop()
+
+        yield from walk()
+
+    def _cycle_free_direction(
+        self, cycle: Tuple[str, ...], extra: FrozenSet[Dependency]
+    ) -> bool:
+        """Whether *cycle* (alternating t_1, s_1, t_2, …, t_p, s_p) is
+        dependency-free in its written direction."""
+        deps = self._deps | extra
+        p = len(cycle) // 2
+        for j in range(p):
+            before = cycle[2 * j]
+            site = cycle[2 * j + 1]
+            after = cycle[(2 * j + 2) % len(cycle)]
+            if (before, site, after) in deps:
+                return False
+        return True
+
+    def dangerous_cycles_through(
+        self,
+        transaction_id: str,
+        extra: Iterable[Dependency] = (),
+    ) -> List[Tuple[str, ...]]:
+        """All simple cycles through *transaction_id* that are
+        dependency-free in the yielded direction (dangerous cycles)."""
+        extra_set = frozenset(extra)
+        return [
+            cycle
+            for cycle in self.simple_cycles_through(transaction_id)
+            if self._cycle_free_direction(cycle, extra_set)
+        ]
+
+    def has_dangerous_cycle_through(
+        self, transaction_id: str, extra: Iterable[Dependency] = ()
+    ) -> bool:
+        extra_set = frozenset(extra)
+        for cycle in self.simple_cycles_through(transaction_id):
+            if self._cycle_free_direction(cycle, extra_set):
+                return True
+        return False
+
+    def is_acyclic(self) -> bool:
+        """No dangerous cycle anywhere (exhaustive; for tests)."""
+        return all(
+            not self.has_dangerous_cycle_through(transaction_id)
+            for transaction_id in self._txn_sites
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<TSGD txns={len(self._txn_sites)} sites={len(self._site_txns)} "
+            f"deps={len(self._deps)}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Theorem 7: minimality
+# ----------------------------------------------------------------------
+
+def candidate_dependencies(tsgd: TSGD, transaction_id: str) -> List[Dependency]:
+    """The dependency universe Δ may draw from: ``(Ĝ_j, s_k) → (s_k, Ĝ_i)``
+    for every site of ``Ĝ_i`` and every other transaction with an edge
+    there."""
+    candidates: List[Dependency] = []
+    for site in sorted(tsgd.sites_of(transaction_id)):
+        for other in sorted(tsgd.transactions_at(site)):
+            if other == transaction_id:
+                continue
+            dep = (other, site, transaction_id)
+            if dep not in tsgd.dependencies:
+                candidates.append(dep)
+    return candidates
+
+
+def is_minimal_delta(
+    tsgd: TSGD, transaction_id: str, delta: Set[Dependency]
+) -> bool:
+    """The paper's minimality: Δ kills all dangerous cycles through
+    ``Ĝ_i``, and no single dependency can be dropped."""
+    if tsgd.has_dangerous_cycle_through(transaction_id, delta):
+        return False
+    for dep in delta:
+        reduced = set(delta)
+        reduced.remove(dep)
+        if not tsgd.has_dangerous_cycle_through(transaction_id, reduced):
+            return False
+    return True
+
+
+def minimum_delta(
+    tsgd: TSGD,
+    transaction_id: str,
+    max_size: Optional[int] = None,
+) -> Optional[Set[Dependency]]:
+    """A minimum-cardinality Δ (hence minimal) by exhaustive subset
+    search — exponential, as Theorem 7 predicts any exact method must be.
+
+    Returns ``None`` if no Δ within ``max_size`` works (cannot happen when
+    ``max_size`` is ``None``: the full candidate set always works, since
+    a dependency into ``Ĝ_i`` at every shared site blocks every direction
+    of every cycle through ``Ĝ_i``)."""
+    candidates = candidate_dependencies(tsgd, transaction_id)
+    bound = len(candidates) if max_size is None else min(max_size, len(candidates))
+    for size in range(bound + 1):
+        for subset in itertools.combinations(candidates, size):
+            if not tsgd.has_dangerous_cycle_through(transaction_id, subset):
+                return set(subset)
+    return None

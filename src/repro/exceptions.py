@@ -1,0 +1,101 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the interesting sub-cases (transaction
+aborts, deadlocks, protocol violations, malformed schedules).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ScheduleError(ReproError):
+    """A schedule or transaction was malformed.
+
+    Raised, for example, when an operation is appended twice, when a
+    transaction issues operations after committing, or when a schedule
+    references a transaction it does not contain.
+    """
+
+
+class UnknownTransactionError(ScheduleError):
+    """An operation referenced a transaction unknown to the container."""
+
+
+class TransactionAborted(ReproError):
+    """A transaction was aborted by a concurrency-control protocol.
+
+    Attributes
+    ----------
+    transaction_id:
+        Identifier of the aborted transaction.
+    reason:
+        Human-readable explanation (e.g. ``"timestamp too old"``).
+    """
+
+    def __init__(self, transaction_id: str, reason: str = "") -> None:
+        self.transaction_id = transaction_id
+        self.reason = reason
+        message = f"transaction {transaction_id!r} aborted"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+
+
+class DeadlockError(TransactionAborted):
+    """A transaction was chosen as a deadlock victim.
+
+    Attributes
+    ----------
+    cycle:
+        The transaction identifiers forming the waits-for cycle that was
+        detected, in cycle order.
+    """
+
+    def __init__(self, transaction_id: str, cycle: tuple = ()) -> None:
+        self.cycle = tuple(cycle)
+        reason = "deadlock victim"
+        if self.cycle:
+            reason = f"deadlock victim in cycle {' -> '.join(map(str, self.cycle))}"
+        super().__init__(transaction_id, reason)
+
+
+class ProtocolViolation(ReproError):
+    """A component was driven in a way its protocol forbids.
+
+    Examples: reading from a transaction that never began, acknowledging an
+    operation that was never submitted, finishing a global transaction whose
+    ser-operations are still outstanding.
+    """
+
+
+class SchedulerError(ReproError):
+    """A GTM2 scheduler (conservative scheme) detected an internal
+    inconsistency, e.g. an operation processed for an unknown transaction."""
+
+
+class NonSerializableError(ReproError):
+    """A verification step found a non-serializable (cyclic) execution.
+
+    Attributes
+    ----------
+    cycle:
+        A witness cycle of transaction identifiers from the serialization
+        graph.
+    """
+
+    def __init__(self, cycle: tuple = (), message: str = "") -> None:
+        self.cycle = tuple(cycle)
+        if not message:
+            if self.cycle:
+                message = (
+                    "non-serializable execution; serialization-graph cycle: "
+                    + " -> ".join(map(str, self.cycle))
+                )
+            else:
+                message = "non-serializable execution"
+        super().__init__(message)

@@ -1,0 +1,56 @@
+"""Local DBMS substrate: storage, locking, deadlock detection, history
+logging, concurrency-control protocols, and the :class:`LocalDBMS`
+facade the GTM's servers talk to."""
+
+from repro.lmdbs.database import (
+    LocalDBMS,
+    SubmitResult,
+    SubmitStatus,
+)
+from repro.lmdbs.deadlock import (
+    DeadlockDetector,
+    build_waits_for_graph,
+    find_deadlock,
+    oldest_victim,
+    youngest_victim,
+)
+from repro.lmdbs.history import HistoryLog
+from repro.lmdbs.lock_manager import LockManager, LockMode
+from repro.lmdbs.protocols import (
+    PROTOCOLS,
+    PreventionTwoPhaseLocking,
+    BasicTimestampOrdering,
+    ConservativeTimestampOrdering,
+    ConservativeTwoPhaseLocking,
+    OptimisticConcurrencyControl,
+    SerializationGraphTesting,
+    StrictTwoPhaseLocking,
+    TicketDispenser,
+    make_protocol,
+)
+from repro.lmdbs.storage import VersionedStore
+
+__all__ = [
+    "LocalDBMS",
+    "SubmitResult",
+    "SubmitStatus",
+    "DeadlockDetector",
+    "build_waits_for_graph",
+    "find_deadlock",
+    "oldest_victim",
+    "youngest_victim",
+    "HistoryLog",
+    "LockManager",
+    "LockMode",
+    "PROTOCOLS",
+    "BasicTimestampOrdering",
+    "ConservativeTimestampOrdering",
+    "ConservativeTwoPhaseLocking",
+    "PreventionTwoPhaseLocking",
+    "OptimisticConcurrencyControl",
+    "SerializationGraphTesting",
+    "StrictTwoPhaseLocking",
+    "TicketDispenser",
+    "make_protocol",
+    "VersionedStore",
+]

@@ -1,0 +1,363 @@
+"""The local DBMS facade.
+
+:class:`LocalDBMS` glues a :class:`~repro.lmdbs.storage.VersionedStore`,
+a concurrency-control protocol (:mod:`repro.lmdbs.protocols`), and a
+:class:`~repro.lmdbs.history.HistoryLog` into the black box the paper's
+GTM talks to: operations are *submitted*, and their completion is
+*acknowledged* (synchronously via the returned :class:`SubmitResult`, and
+asynchronously via per-operation callbacks used by the discrete-event
+simulator).
+
+The facade does not distinguish local transactions from global
+subtransactions — a paper requirement — and enforces program order: each
+transaction may have at most one operation in flight at the site.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import ProtocolViolation, TransactionAborted
+from repro.lmdbs.history import HistoryLog
+from repro.lmdbs.protocols.base import Decision, LocalScheduler, Verdict
+from repro.lmdbs.storage import VersionedStore
+from repro.schedules.model import Operation, OpType, abort as abort_op
+
+
+class SubmitStatus(enum.Enum):
+    EXECUTED = "executed"
+    BLOCKED = "blocked"
+    ABORTED = "aborted"
+
+
+#: Callback invoked when a (possibly previously blocked) operation
+#: completes: ``callback(operation, value, aborted)``.
+CompletionCallback = Callable[[Operation, Any, bool], None]
+
+
+@dataclass
+class SubmitResult:
+    """Synchronous outcome of :meth:`LocalDBMS.submit`."""
+
+    status: SubmitStatus
+    operation: Operation
+    #: value produced by the operation (read result), when executed now
+    value: Any = None
+    #: transactions aborted during this call (victims and/or requester)
+    aborted: Tuple[str, ...] = ()
+    #: transactions whose blocked operation executed during this call
+    unblocked: Tuple[str, ...] = ()
+    #: reason attached to an abort of the requester
+    reason: str = ""
+
+
+@dataclass
+class _Pending:
+    operation: Operation
+    callback: Optional[CompletionCallback]
+    read_set: Optional[frozenset] = None
+    write_set: Optional[frozenset] = None
+
+
+class LocalDBMS:
+    """One pre-existing local database system of the MDBS."""
+
+    def __init__(
+        self,
+        site: str,
+        protocol: LocalScheduler,
+        initial: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.site = site
+        self.protocol = protocol
+        self.storage = VersionedStore(initial)
+        self.history = HistoryLog(site)
+        self._pending: Dict[str, _Pending] = {}
+        self._active: set = set()
+        #: counts for metrics: how many submissions blocked / aborted
+        self.blocked_count = 0
+        self.aborted_count = 0
+        #: listeners invoked as ``listener(transaction_id, reason)`` on
+        #: every transaction abort at this site (the GTM subscribes to
+        #: learn about aborts of its subtransactions, e.g. deadlock
+        #: victims it did not submit the fatal operation for)
+        self.abort_listeners: List[Callable[[str, str], None]] = []
+
+    # ------------------------------------------------------------------
+    # public interface (what servers see)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        operation: Operation,
+        callback: Optional[CompletionCallback] = None,
+        read_set: Optional[frozenset] = None,
+        write_set: Optional[frozenset] = None,
+    ) -> SubmitResult:
+        """Submit *operation* for execution.
+
+        ``read_set``/``write_set`` are the declared access sets, consumed
+        by conservative protocols at BEGIN and ignored otherwise.
+        """
+        self._validate_submission(operation)
+        transaction_id = operation.transaction_id
+
+        if operation.op_type is OpType.ABORT:
+            aborted = self._perform_abort(transaction_id, "client abort")
+            result_ops: List[str] = []
+            return SubmitResult(
+                SubmitStatus.EXECUTED,
+                operation,
+                aborted=tuple(aborted),
+                unblocked=tuple(result_ops),
+            )
+
+        decision = self._consult(operation, read_set, write_set)
+
+        aborted: List[str] = []
+        unblocked: List[str] = []
+
+        # Third-party victims decided alongside GRANT/ABORT are killed
+        # up front; with BLOCK the requester must be parked *first* so
+        # the victims' released locks can wake it (wound-wait).
+        if decision.verdict is not Verdict.BLOCK:
+            for victim in decision.victims:
+                if victim != transaction_id:
+                    aborted.extend(
+                        self._perform_abort(victim, decision.reason)
+                    )
+
+        if decision.verdict is Verdict.ABORT:
+            if transaction_id in decision.victims:
+                aborted.extend(
+                    self._perform_abort(transaction_id, decision.reason)
+                )
+                self.aborted_count += 1
+                if callback is not None:
+                    callback(operation, None, True)
+                self._drain_wakes(list(decision.wake), unblocked, aborted)
+                return SubmitResult(
+                    SubmitStatus.ABORTED,
+                    operation,
+                    aborted=tuple(aborted),
+                    unblocked=tuple(unblocked),
+                    reason=decision.reason,
+                )
+            raise ProtocolViolation(
+                "ABORT decision without the requester among victims"
+            )
+
+        if decision.verdict is Verdict.BLOCK:
+            self.blocked_count += 1
+            self._pending[transaction_id] = _Pending(
+                operation, callback, read_set, write_set
+            )
+            for victim in decision.victims:
+                if victim != transaction_id:
+                    aborted.extend(
+                        self._perform_abort(victim, decision.reason)
+                    )
+            # a victim's released locks may have freed ours already
+            self._drain_wakes(list(decision.wake), unblocked, aborted)
+            if transaction_id not in self._pending:
+                # our own operation was executed during the wake cascade
+                return SubmitResult(
+                    SubmitStatus.EXECUTED,
+                    operation,
+                    aborted=tuple(aborted),
+                    unblocked=tuple(u for u in unblocked if u != transaction_id),
+                )
+            return SubmitResult(
+                SubmitStatus.BLOCKED,
+                operation,
+                aborted=tuple(aborted),
+                unblocked=tuple(unblocked),
+                reason=decision.reason,
+            )
+
+        value = self._execute(operation)
+        if callback is not None:
+            callback(operation, value, False)
+        self._drain_wakes(list(decision.wake), unblocked, aborted)
+        return SubmitResult(
+            SubmitStatus.EXECUTED,
+            operation,
+            value=value,
+            aborted=tuple(aborted),
+            unblocked=tuple(unblocked),
+        )
+
+    def abort_transaction(self, transaction_id: str, reason: str = "") -> Tuple[str, ...]:
+        """Externally abort a transaction (used by the GTM to kill a
+        global subtransaction, e.g. when it aborted at another site)."""
+        aborted = self._perform_abort(transaction_id, reason or "external abort")
+        unblocked: List[str] = []
+        self._drain_wakes([], unblocked, aborted)
+        return tuple(aborted)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _validate_submission(self, operation: Operation) -> None:
+        if operation.site is not None and operation.site != self.site:
+            raise ProtocolViolation(
+                f"operation {operation!r} targets site {operation.site!r}, "
+                f"not {self.site!r}"
+            )
+        transaction_id = operation.transaction_id
+        if transaction_id in self._pending:
+            raise ProtocolViolation(
+                f"{transaction_id!r} already has an operation in flight at "
+                f"{self.site!r} (program order violated)"
+            )
+        if operation.op_type is OpType.BEGIN:
+            if transaction_id in self._active:
+                raise ProtocolViolation(
+                    f"{transaction_id!r} already began at {self.site!r}"
+                )
+        elif transaction_id not in self._active:
+            raise ProtocolViolation(
+                f"{transaction_id!r} has not begun at {self.site!r}"
+            )
+
+    def _consult(
+        self,
+        operation: Operation,
+        read_set: Optional[frozenset] = None,
+        write_set: Optional[frozenset] = None,
+    ) -> Decision:
+        transaction_id = operation.transaction_id
+        if operation.op_type is OpType.BEGIN:
+            return self.protocol.on_begin(transaction_id, read_set, write_set)
+        if operation.op_type is OpType.READ:
+            return self.protocol.on_read(transaction_id, operation.item)
+        if operation.op_type is OpType.WRITE:
+            return self.protocol.on_write(transaction_id, operation.item)
+        if operation.op_type is OpType.COMMIT:
+            return self.protocol.on_commit(transaction_id)
+        raise ProtocolViolation(f"cannot consult protocol for {operation!r}")
+
+    def _execute(self, operation: Operation) -> Any:
+        """Apply a granted operation to storage and the history log."""
+        transaction_id = operation.transaction_id
+        value: Any = None
+        if operation.op_type is OpType.BEGIN:
+            self._active.add(transaction_id)
+            self.storage.open_workspace(transaction_id)
+            self.history.record(operation)
+        elif operation.op_type is OpType.READ:
+            value = self.storage.read(transaction_id, operation.item)
+            self.history.record(operation)
+        elif operation.op_type is OpType.WRITE:
+            self.storage.write(transaction_id, operation.item, value)
+            if not self.protocol.defers_writes:
+                self.history.record(operation)
+        elif operation.op_type is OpType.COMMIT:
+            if self.protocol.defers_writes:
+                # install buffered writes in the history at commit time so
+                # conflict order matches when they actually took effect
+                for txn_operation in self._deferred_writes(transaction_id):
+                    self.history.record(txn_operation)
+            self.storage.commit(transaction_id)
+            self._active.discard(transaction_id)
+            self.history.record(operation)
+        else:  # pragma: no cover - aborts go through _perform_abort
+            raise ProtocolViolation(f"cannot execute {operation!r}")
+        return value
+
+    def write_value(self, transaction_id: str, item: str, value: Any) -> None:
+        """Set the buffered value of a prior write (value plumbing used by
+        ticket writes: read, compute, then write a concrete value)."""
+        self.storage.write(transaction_id, item, value)
+
+    def _deferred_writes(self, transaction_id: str) -> List[Operation]:
+        from repro.schedules.model import write as write_op
+
+        return [
+            write_op(transaction_id, item, self.site)
+            for item in sorted(self.storage.write_set(transaction_id))
+        ]
+
+    def _perform_abort(self, transaction_id: str, reason: str) -> List[str]:
+        """Abort a transaction: storage, protocol, pending op, history."""
+        if (
+            transaction_id not in self._active
+            and transaction_id not in self._pending
+        ):
+            return []
+        pending = self._pending.pop(transaction_id, None)
+        self.protocol.cancel_waiting(transaction_id)
+        wake = self.protocol.on_abort(transaction_id)
+        if self.storage.has_workspace(transaction_id):
+            self.storage.abort(transaction_id)
+        self._active.discard(transaction_id)
+        self.history.record(abort_op(transaction_id, self.site))
+        if pending is not None and pending.callback is not None:
+            pending.callback(pending.operation, None, True)
+        aborted = [transaction_id]
+        unblocked: List[str] = []
+        self._drain_wakes(list(wake), unblocked, aborted)
+        for listener in self.abort_listeners:
+            listener(transaction_id, reason)
+        return aborted
+
+    def _drain_wakes(
+        self,
+        wake: List[str],
+        unblocked: List[str],
+        aborted: List[str],
+    ) -> None:
+        """Retry pending operations of woken transactions, cascading."""
+        queue = list(wake)
+        while queue:
+            transaction_id = queue.pop(0)
+            pending = self._pending.get(transaction_id)
+            if pending is None:
+                continue
+            decision = self._consult(
+                pending.operation, pending.read_set, pending.write_set
+            )
+            for victim in decision.victims:
+                if victim != transaction_id:
+                    aborted.extend(self._perform_abort(victim, decision.reason))
+            if decision.verdict is Verdict.BLOCK:
+                continue
+            del self._pending[transaction_id]
+            if decision.verdict is Verdict.ABORT:
+                aborted.extend(
+                    self._perform_abort(transaction_id, decision.reason)
+                )
+                if pending.callback is not None:
+                    pending.callback(pending.operation, None, True)
+                continue
+            value = self._execute(pending.operation)
+            unblocked.append(transaction_id)
+            if pending.callback is not None:
+                pending.callback(pending.operation, value, False)
+            queue.extend(decision.wake)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def waits_for_edges(self) -> set:
+        """(waiter, holder) edges at this site, when the protocol can
+        report them (locking protocols); empty otherwise."""
+        reporter = getattr(self.protocol, "waits_for_edges", None)
+        return reporter() if reporter is not None else set()
+
+    def is_active(self, transaction_id: str) -> bool:
+        return transaction_id in self._active
+
+    def is_blocked(self, transaction_id: str) -> bool:
+        return transaction_id in self._pending
+
+    @property
+    def active_transactions(self) -> frozenset:
+        return frozenset(self._active)
+
+    def __repr__(self) -> str:
+        return (
+            f"<LocalDBMS site={self.site!r} protocol={self.protocol.name!r} "
+            f"active={len(self._active)}>"
+        )

@@ -1,0 +1,51 @@
+"""Local history logging.
+
+Every local DBMS records the operations it actually *executed*, in
+execution order, as a :class:`~repro.schedules.model.Schedule`.  This log
+is the ground truth for all verification: the global serializability
+checker (:mod:`repro.mdbs.verification`) works exclusively from these
+histories, never from a scheduler's internal bookkeeping, so a buggy
+scheduler cannot certify itself correct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.schedules.model import Operation, OpType, Schedule
+
+
+class HistoryLog:
+    """Execution-order log of one site's operations."""
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self._schedule = Schedule()
+
+    def record(self, operation: Operation) -> Operation:
+        return self._schedule.append(operation)
+
+    @property
+    def schedule(self) -> Schedule:
+        return self._schedule
+
+    def committed_schedule(self) -> Schedule:
+        """The committed projection — what serializability is judged on."""
+        return self._schedule.committed_projection()
+
+    def operations_of(self, transaction_id: str) -> Tuple[Operation, ...]:
+        return self._schedule.operations_of(transaction_id)
+
+    def outcome_of(self, transaction_id: str) -> Optional[OpType]:
+        """COMMIT, ABORT, or None if the transaction is still active."""
+        outcome: Optional[OpType] = None
+        for operation in self._schedule.operations_of(transaction_id):
+            if operation.op_type in (OpType.COMMIT, OpType.ABORT):
+                outcome = operation.op_type
+        return outcome
+
+    def __len__(self) -> int:
+        return len(self._schedule)
+
+    def __repr__(self) -> str:
+        return f"<HistoryLog site={self.site!r} ops={len(self._schedule)}>"

@@ -1,0 +1,124 @@
+"""Local-scheduler protocol interface.
+
+A local DBMS (:mod:`repro.lmdbs.database`) separates *mechanism* (storage,
+history logging, blocked-operation bookkeeping) from *policy* (the
+concurrency-control protocol).  A protocol is an object with ``on_*``
+hooks that return :class:`Decision` values:
+
+- ``GRANT``  — execute the operation now;
+- ``BLOCK``  — the operation must wait (the database parks it and retries
+  when the protocol signals wake-ups);
+- ``ABORT``  — the protocol kills one or more transactions (possibly the
+  requester, possibly a deadlock victim elsewhere).
+
+The database never peeks inside a protocol; protocols never touch storage
+or the history log.  This mirrors the paper's model where local DBMSs are
+black boxes that merely execute and acknowledge operations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+
+class Verdict(enum.Enum):
+    GRANT = "grant"
+    BLOCK = "block"
+    ABORT = "abort"
+
+
+@dataclass
+class Decision:
+    """Outcome of a protocol hook.
+
+    Attributes
+    ----------
+    verdict:
+        GRANT, BLOCK, or ABORT.
+    victims:
+        Transactions the protocol aborts as part of this decision.  With
+        verdict ABORT the requester is normally among the victims; with
+        GRANT/BLOCK the victims are third parties (e.g. deadlock victims
+        chosen so the requester can proceed).
+    wake:
+        Transactions whose previously blocked operation should be retried
+        now (e.g. lock released to them).
+    reason:
+        Human-readable explanation, used in abort exceptions and logs.
+    """
+
+    verdict: Verdict
+    victims: Tuple[str, ...] = ()
+    wake: Tuple[str, ...] = ()
+    reason: str = ""
+
+    @classmethod
+    def grant(cls, wake: Iterable[str] = (), victims: Iterable[str] = ()) -> "Decision":
+        return cls(Verdict.GRANT, tuple(victims), tuple(wake))
+
+    @classmethod
+    def block(cls, reason: str = "", victims: Iterable[str] = ()) -> "Decision":
+        return cls(Verdict.BLOCK, tuple(victims), (), reason)
+
+    @classmethod
+    def kill(cls, victims: Iterable[str], reason: str) -> "Decision":
+        return cls(Verdict.ABORT, tuple(victims), (), reason)
+
+
+class LocalScheduler:
+    """Abstract local concurrency-control protocol.
+
+    Subclasses must guarantee that the sequence of granted operations at
+    the site is conflict serializable — the paper's standing assumption
+    about local DBMSs.
+    """
+
+    #: protocol name used to look up the GTM's serialization-function
+    #: strategy (see :mod:`repro.schedules.serialization_functions`).
+    name = "abstract"
+
+    #: True when the protocol admits a natural serialization function;
+    #: False (SGT, OCC) means global subtransactions need tickets.
+    has_serialization_function = True
+
+    #: True when writes take effect at commit rather than at issue time
+    #: (optimistic protocols).  The database then logs write operations in
+    #: the history at commit, so the history's conflict order matches the
+    #: protocol's actual serialization order.
+    defers_writes = False
+
+    # -- lifecycle -------------------------------------------------------
+    def on_begin(
+        self,
+        transaction_id: str,
+        read_set: Optional[FrozenSet[str]] = None,
+        write_set: Optional[FrozenSet[str]] = None,
+    ) -> Decision:
+        """A transaction begins; conservative protocols may use the
+        declared read/write sets and may BLOCK the begin itself."""
+        raise NotImplementedError
+
+    def on_read(self, transaction_id: str, item: str) -> Decision:
+        raise NotImplementedError
+
+    def on_write(self, transaction_id: str, item: str) -> Decision:
+        raise NotImplementedError
+
+    def on_commit(self, transaction_id: str) -> Decision:
+        """Commit request.  May ABORT (validation failure), BLOCK
+        (rare), or GRANT with wake-ups (released locks)."""
+        raise NotImplementedError
+
+    def on_abort(self, transaction_id: str) -> Tuple[str, ...]:
+        """Clean up after an abort (the database already decided it);
+        returns transactions to wake."""
+        raise NotImplementedError
+
+    # -- misc -------------------------------------------------------------
+    def cancel_waiting(self, transaction_id: str) -> None:
+        """Forget any queued request of an aborted waiter (default no-op)."""
+
+    def describe(self) -> str:
+        return self.name

@@ -1,0 +1,102 @@
+"""Backward-validation optimistic concurrency control (BOCC).
+
+Transactions run without synchronization (reads and writes always GRANT;
+writes are buffered in the storage workspace).  At commit the transaction
+*validates*: it aborts if any transaction that committed after it began
+wrote an item the validating transaction read.  Validation order equals
+commit order, so committed transactions serialize in commit order — but,
+like SGT, the protocol fixes a transaction's serialization position only
+at commit, and *reads-only* conflicts are invisible to the GTM, so global
+subtransactions at OCC sites also use tickets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.exceptions import ProtocolViolation
+from repro.lmdbs.protocols.base import Decision, LocalScheduler
+
+
+class OptimisticConcurrencyControl(LocalScheduler):
+    """BOCC with per-transaction read/write tracking.
+
+    The validation uses its own bookkeeping (not the storage layer) so the
+    protocol stays self-contained: begin snapshots a validation counter;
+    commit compares the read set against the write sets of transactions
+    validated since the snapshot.
+    """
+
+    name = "occ"
+    has_serialization_function = False
+    defers_writes = True
+
+    def __init__(self) -> None:
+        self._validation_counter = 0
+        #: per committed validation index: (transaction, write set)
+        self._validated: List[Tuple[str, FrozenSet[str]]] = []
+        self._start_index: Dict[str, int] = {}
+        self._read_sets: Dict[str, Set[str]] = {}
+        self._write_sets: Dict[str, Set[str]] = {}
+        #: validation failures (metrics)
+        self.rejections = 0
+
+    def on_begin(
+        self,
+        transaction_id: str,
+        read_set: Optional[FrozenSet[str]] = None,
+        write_set: Optional[FrozenSet[str]] = None,
+    ) -> Decision:
+        if transaction_id in self._start_index:
+            raise ProtocolViolation(
+                f"{transaction_id!r} already active at this site"
+            )
+        self._start_index[transaction_id] = len(self._validated)
+        self._read_sets[transaction_id] = set()
+        self._write_sets[transaction_id] = set()
+        return Decision.grant()
+
+    def _require_active(self, transaction_id: str) -> None:
+        if transaction_id not in self._start_index:
+            raise ProtocolViolation(
+                f"{transaction_id!r} is not active at this site"
+            )
+
+    def on_read(self, transaction_id: str, item: str) -> Decision:
+        self._require_active(transaction_id)
+        self._read_sets[transaction_id].add(item)
+        return Decision.grant()
+
+    def on_write(self, transaction_id: str, item: str) -> Decision:
+        self._require_active(transaction_id)
+        self._write_sets[transaction_id].add(item)
+        return Decision.grant()
+
+    def on_commit(self, transaction_id: str) -> Decision:
+        self._require_active(transaction_id)
+        start = self._start_index[transaction_id]
+        read_set = self._read_sets[transaction_id]
+        for other, other_writes in self._validated[start:]:
+            overlap = read_set & other_writes
+            if overlap:
+                self.rejections += 1
+                self._cleanup(transaction_id)
+                return Decision.kill(
+                    (transaction_id,),
+                    f"validation failed: read {sorted(overlap)} written by "
+                    f"concurrently committed {other!r}",
+                )
+        self._validated.append(
+            (transaction_id, frozenset(self._write_sets[transaction_id]))
+        )
+        self._cleanup(transaction_id)
+        return Decision.grant()
+
+    def on_abort(self, transaction_id: str) -> Tuple[str, ...]:
+        self._cleanup(transaction_id)
+        return ()
+
+    def _cleanup(self, transaction_id: str) -> None:
+        self._start_index.pop(transaction_id, None)
+        self._read_sets.pop(transaction_id, None)
+        self._write_sets.pop(transaction_id, None)

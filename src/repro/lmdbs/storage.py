@@ -1,0 +1,137 @@
+"""Versioned key-value storage for local DBMS engines.
+
+Each local DBMS owns one :class:`VersionedStore`.  The store keeps, per
+data item, the committed value plus per-transaction uncommitted writes
+(a private workspace per transaction), so protocols can implement commit
+(publish workspace) and abort (discard workspace) without undo logging.
+A monotonically increasing commit counter provides cheap snapshot
+identifiers used by the optimistic protocol's validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.exceptions import ProtocolViolation
+
+
+@dataclass
+class ItemState:
+    """Committed state of one data item."""
+
+    value: Any = None
+    #: commit counter value at which this item was last written
+    version: int = 0
+    #: transaction id of the last committed writer (None = initial state)
+    last_writer: Optional[str] = None
+
+
+class VersionedStore:
+    """Committed values plus per-transaction private workspaces.
+
+    The store tracks read/write sets per transaction so that optimistic
+    validation and the verification layer can reconstruct what happened.
+    """
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None) -> None:
+        self._items: Dict[str, ItemState] = {}
+        if initial:
+            for item, value in initial.items():
+                self._items[item] = ItemState(value=value)
+        self._workspaces: Dict[str, Dict[str, Any]] = {}
+        self._read_sets: Dict[str, set] = {}
+        self._commit_counter = 0
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+    def open_workspace(self, transaction_id: str) -> None:
+        if transaction_id in self._workspaces:
+            raise ProtocolViolation(
+                f"workspace for {transaction_id!r} already open"
+            )
+        self._workspaces[transaction_id] = {}
+        self._read_sets[transaction_id] = set()
+
+    def has_workspace(self, transaction_id: str) -> bool:
+        return transaction_id in self._workspaces
+
+    def read(self, transaction_id: str, item: str) -> Any:
+        """Read *item* for *transaction_id*: its own uncommitted write if
+        present, else the committed value (``None`` if never written)."""
+        workspace = self._require_workspace(transaction_id)
+        self._read_sets[transaction_id].add(item)
+        if item in workspace:
+            return workspace[item]
+        state = self._items.get(item)
+        return state.value if state is not None else None
+
+    def write(self, transaction_id: str, item: str, value: Any) -> None:
+        """Buffer a write in the transaction's private workspace."""
+        workspace = self._require_workspace(transaction_id)
+        workspace[item] = value
+
+    def commit(self, transaction_id: str) -> int:
+        """Publish the workspace; returns the new commit-counter value."""
+        workspace = self._require_workspace(transaction_id)
+        self._commit_counter += 1
+        for item, value in workspace.items():
+            state = self._items.setdefault(item, ItemState())
+            state.value = value
+            state.version = self._commit_counter
+            state.last_writer = transaction_id
+        self._close(transaction_id)
+        return self._commit_counter
+
+    def abort(self, transaction_id: str) -> None:
+        """Discard the workspace."""
+        self._require_workspace(transaction_id)
+        self._close(transaction_id)
+
+    def _close(self, transaction_id: str) -> None:
+        del self._workspaces[transaction_id]
+        del self._read_sets[transaction_id]
+
+    def _require_workspace(self, transaction_id: str) -> Dict[str, Any]:
+        try:
+            return self._workspaces[transaction_id]
+        except KeyError:
+            raise ProtocolViolation(
+                f"transaction {transaction_id!r} has no open workspace"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def committed_value(self, item: str) -> Any:
+        state = self._items.get(item)
+        return state.value if state is not None else None
+
+    def committed_version(self, item: str) -> int:
+        state = self._items.get(item)
+        return state.version if state is not None else 0
+
+    def read_set(self, transaction_id: str) -> frozenset:
+        return frozenset(self._read_sets.get(transaction_id, ()))
+
+    def write_set(self, transaction_id: str) -> frozenset:
+        return frozenset(self._workspaces.get(transaction_id, ()))
+
+    @property
+    def commit_counter(self) -> int:
+        return self._commit_counter
+
+    @property
+    def items(self) -> Tuple[str, ...]:
+        return tuple(self._items)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A copy of the committed database state (for invariant checks)."""
+        return {item: state.value for item, state in self._items.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"<VersionedStore items={len(self._items)} "
+            f"open={len(self._workspaces)} commits={self._commit_counter}>"
+        )

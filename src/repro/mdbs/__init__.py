@@ -1,0 +1,31 @@
+"""Whole-system MDBS simulation: deterministic event loop, servers,
+the event-driven GTM, local-transaction traffic, and ground-truth
+verification."""
+
+from repro.mdbs.events import EventLoop, SimulationError
+from repro.mdbs.server import Latencies, Server
+from repro.mdbs.simulator import (
+    MDBSSimulator,
+    SimulationConfig,
+    SimulationReport,
+)
+from repro.mdbs.verification import (
+    VerificationReport,
+    assert_verified,
+    serialization_order_consistent,
+    verify,
+)
+
+__all__ = [
+    "EventLoop",
+    "SimulationError",
+    "Latencies",
+    "Server",
+    "MDBSSimulator",
+    "SimulationConfig",
+    "SimulationReport",
+    "VerificationReport",
+    "assert_verified",
+    "serialization_order_consistent",
+    "verify",
+]

@@ -1,0 +1,76 @@
+"""Deterministic discrete-event simulation core.
+
+A tiny heap-driven event loop: events are ``(time, sequence, action)``
+triples; ties break on the insertion sequence number, so a run is fully
+determined by its seed and schedule of insertions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+Action = Callable[[], None]
+
+
+class SimulationError(ReproError):
+    """The event loop was driven past its configured horizon."""
+
+
+class EventLoop:
+    """A deterministic future-event list."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        #: events executed so far
+        self.executed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, action: Action) -> None:
+        """Schedule *action* at ``now + delay`` (delay ≥ 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(
+            self._heap, (self._now + delay, next(self._sequence), action)
+        )
+
+    def schedule_at(self, time: float, action: Action) -> None:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past ({time} < {self._now})"
+            )
+        heapq.heappush(self._heap, (time, next(self._sequence), action))
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Run until the heap empties, ``until`` passes, or the event
+        budget is exhausted; returns the final simulation time."""
+        while self._heap:
+            time, _seq, action = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            action()
+            self.executed += 1
+            if self.executed > max_events:
+                raise SimulationError(
+                    f"event budget exceeded at t={self._now}"
+                )
+        return self._now

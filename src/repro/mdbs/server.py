@@ -1,0 +1,88 @@
+"""Server processes (paper §2.1).
+
+The GTM communicates with the local DBMSs through *servers* — one per
+transaction per site — that submit operations and report acknowledgements.
+In the simulator a :class:`Server` adds the message and service latencies
+around a :class:`~repro.lmdbs.database.LocalDBMS` call: the submission
+reaches the site after ``message_delay``, the operation occupies the site
+for ``service_time`` once granted, and the acknowledgement travels back
+after another ``message_delay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.lmdbs.database import LocalDBMS, SubmitStatus
+from repro.mdbs.events import EventLoop
+from repro.schedules.model import Operation
+
+#: Completion callback: ``callback(operation, value, aborted)`` at ack time.
+Completion = Callable[[Operation, Any, bool], None]
+
+
+@dataclass
+class Latencies:
+    """Timing model of one site's server link."""
+
+    message_delay: float = 1.0
+    service_time: float = 1.0
+
+
+class Server:
+    """One transaction's server at one site."""
+
+    def __init__(
+        self,
+        transaction_id: str,
+        db: LocalDBMS,
+        loop: EventLoop,
+        latencies: Optional[Latencies] = None,
+    ) -> None:
+        self.transaction_id = transaction_id
+        self.db = db
+        self.loop = loop
+        self.latencies = latencies or Latencies()
+
+    def submit(
+        self,
+        operation: Operation,
+        completion: Completion,
+        read_set: Optional[frozenset] = None,
+        write_set: Optional[frozenset] = None,
+    ) -> None:
+        """Submit *operation*; *completion* fires when the ack returns."""
+
+        def deliver() -> None:
+            def local_callback(
+                op: Operation, value: Any, aborted: bool
+            ) -> None:
+                # grant (or abort) happened now; ack arrives after the
+                # service time plus the return trip
+                delay = self.latencies.service_time + self.latencies.message_delay
+                if aborted:
+                    delay = self.latencies.message_delay
+                self.loop.schedule(
+                    delay, lambda: completion(op, value, aborted)
+                )
+
+            self.db.submit(
+                operation,
+                callback=local_callback,
+                read_set=read_set,
+                write_set=write_set,
+            )
+
+        self.loop.schedule(self.latencies.message_delay, deliver)
+
+    def abort(self, reason: str = "") -> None:
+        """Abort this transaction at the site, after the message delay."""
+
+        def deliver() -> None:
+            if self.db.is_active(self.transaction_id) or self.db.is_blocked(
+                self.transaction_id
+            ):
+                self.db.abort_transaction(self.transaction_id, reason)
+
+        self.loop.schedule(self.latencies.message_delay, deliver)

@@ -1,0 +1,474 @@
+"""The MDBS discrete-event simulator.
+
+Ties together local DBMSs, per-transaction-per-site servers with message
+and service latencies, an event-driven GTM1, the GTM2 scheme under test,
+and a stream of *local* transactions submitted directly to the sites —
+the source of the indirect conflicts the GTM never sees (paper §1).
+
+Timing model (all latencies configurable):
+
+- a submitted operation reaches its site after ``message_delay``;
+- once granted it occupies the site for ``service_time``;
+- the acknowledgement returns after another ``message_delay``;
+- GTM1 issues the next operation of a transaction only after the
+  previous acknowledgement (paper §2.3);
+- a watchdog aborts and restarts any global transaction that has made no
+  progress for ``stall_timeout`` time units (cross-site blocking cycles
+  are invisible to the local deadlock detectors).
+
+Collected metrics: throughput, per-transaction response times, global
+aborts, local aborts, scheme step counts and WAIT statistics.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.engine import Engine
+from repro.core.events import Ack, Fin, Init, Ser
+from repro.core.gtm import GlobalProgram, PlannedOp, STRATEGY_BY_PROTOCOL, plan_program
+from repro.core.scheme import ConservativeScheme
+from repro.exceptions import ProtocolViolation, SchedulerError
+from repro.lmdbs.database import LocalDBMS
+from repro.mdbs.events import EventLoop
+from repro.mdbs.server import Latencies, Server
+from repro.schedules.global_schedule import (
+    GlobalSchedule,
+    SerOperation,
+    SerSchedule,
+)
+from repro.schedules.model import (
+    Operation,
+    begin as begin_op,
+    commit as commit_op,
+    read as read_op,
+    write as write_op,
+)
+from repro.workloads.generator import LocalProgram
+
+
+@dataclass
+class SimulationConfig:
+    """Timing and policy knobs of one simulation run."""
+
+    latencies: Latencies = field(default_factory=Latencies)
+    #: no-progress window after which a global transaction is restarted
+    stall_timeout: float = 200.0
+    #: delay before a restarted incarnation re-enters the system
+    restart_backoff: float = 5.0
+    max_restarts: int = 25
+    #: hard stop for the event loop
+    horizon: float = 1_000_000.0
+
+
+@dataclass
+class TransactionStats:
+    submitted_at: float
+    committed_at: Optional[float] = None
+    restarts: int = 0
+
+    @property
+    def response_time(self) -> Optional[float]:
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate outcome of one run."""
+
+    duration: float
+    committed_global: int
+    failed_global: int
+    global_aborts: int
+    committed_local: int
+    local_aborts: int
+    response_times: Tuple[float, ...]
+    scheme_steps: int
+    scheme_waits: int
+
+    @property
+    def throughput(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.committed_global / self.duration
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return 0.0
+        return statistics.fmean(self.response_times)
+
+
+@dataclass
+class _GlobalRuntime:
+    program: GlobalProgram
+    incarnation: str
+    plan: List[PlannedOp]
+    cursor: int = 0
+    acks_outstanding: Set[str] = field(default_factory=set)
+    fin_enqueued: bool = False
+    ticket_values: Dict[str, int] = field(default_factory=dict)
+    last_progress: float = 0.0
+    done: bool = False
+
+
+class MDBSSimulator:
+    """Event-driven MDBS with a pluggable GTM2 scheme."""
+
+    def __init__(
+        self,
+        sites: Dict[str, LocalDBMS],
+        scheme: ConservativeScheme,
+        config: Optional[SimulationConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.sites = dict(sites)
+        self.scheme = scheme
+        self.config = config or SimulationConfig()
+        self.loop = EventLoop()
+        self.rng = random.Random(seed)
+        self.engine = Engine(
+            scheme,
+            submit_handler=self._execute_ser,
+            ack_handler=self._on_gtm1_ack,
+        )
+        self._runtimes: Dict[str, _GlobalRuntime] = {}
+        self._stats: Dict[str, TransactionStats] = {}
+        self._restart_count: Dict[str, int] = {}
+        self._programs: Dict[str, GlobalProgram] = {}
+        self.ser_schedule = SerSchedule()
+        self.committed_global: List[str] = []
+        self.failed_global: List[str] = []
+        self.global_aborts = 0
+        self.committed_local = 0
+        self.local_aborts = 0
+        self._local_counter = 0
+        self._watchdog_armed = False
+        #: per-site monotone ticket counters (release order is
+        #: authoritative under the one-outstanding-per-site rule)
+        self._ticket_counters: Dict[str, int] = {}
+        # learn about local aborts of our subtransactions even when they
+        # had no operation in flight at the aborting site (e.g. wounded
+        # as an active lock holder under wound-wait)
+        for db in self.sites.values():
+            db.abort_listeners.append(self._on_local_abort)
+
+    def _on_local_abort(self, transaction_id: str, reason: str) -> None:
+        runtime = self._runtimes.get(transaction_id)
+        if runtime is not None and not runtime.done:
+            self._abort_global(
+                transaction_id, f"aborted locally: {reason}"
+            )
+
+    # ------------------------------------------------------------------
+    # workload admission
+    # ------------------------------------------------------------------
+    def submit_global(self, program: GlobalProgram, at: float = 0.0) -> None:
+        logical = program.transaction_id
+        if logical in self._programs:
+            raise ProtocolViolation(
+                f"global transaction {logical!r} submitted twice"
+            )
+        self._programs[logical] = program
+        self._restart_count[logical] = 0
+        self._stats[logical] = TransactionStats(submitted_at=at)
+        self.loop.schedule_at(at, lambda: self._start_incarnation(logical))
+
+    def submit_local(self, program: LocalProgram, at: float = 0.0) -> None:
+        self.loop.schedule_at(at, lambda: self._run_local(program, 0))
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        self._arm_watchdog()
+        self.loop.run(until=self.config.horizon)
+        responses = tuple(
+            stats.response_time
+            for stats in self._stats.values()
+            if stats.response_time is not None
+        )
+        return SimulationReport(
+            duration=self.loop.now,
+            committed_global=len(self.committed_global),
+            failed_global=len(self.failed_global),
+            global_aborts=self.global_aborts,
+            committed_local=self.committed_local,
+            local_aborts=self.local_aborts,
+            response_times=responses,
+            scheme_steps=self.scheme.metrics.steps,
+            scheme_waits=self.scheme.metrics.total_waited,
+        )
+
+    def _arm_watchdog(self) -> None:
+        if self._watchdog_armed:
+            return
+        self._watchdog_armed = True
+        interval = self.config.stall_timeout / 2
+
+        def tick() -> None:
+            now = self.loop.now
+            stalled = [
+                runtime
+                for runtime in self._runtimes.values()
+                if not runtime.done
+                and now - runtime.last_progress >= self.config.stall_timeout
+            ]
+            if stalled:
+                victim = min(
+                    stalled, key=lambda r: (r.last_progress, r.incarnation)
+                )
+                self._abort_global(
+                    victim.incarnation, "watchdog: no progress"
+                )
+            if self._runtimes or self.loop.pending:
+                self.loop.schedule(interval, tick)
+
+        self.loop.schedule(interval, tick)
+
+    # ------------------------------------------------------------------
+    # GTM1 (event-driven)
+    # ------------------------------------------------------------------
+    def _strategy_for(self, site: str) -> str:
+        protocol = self.sites[site].protocol.name
+        return STRATEGY_BY_PROTOCOL[protocol]
+
+    def _start_incarnation(self, logical: str) -> None:
+        program = self._programs[logical]
+        count = self._restart_count[logical]
+        incarnation = logical if count == 0 else f"{logical}#{count}"
+        runtime = _GlobalRuntime(
+            program=program,
+            incarnation=incarnation,
+            plan=plan_program(program, incarnation, self._strategy_for),
+            acks_outstanding=set(program.sites),
+            last_progress=self.loop.now,
+        )
+        self._runtimes[incarnation] = runtime
+        self._stats[logical].restarts = count
+        self.engine.enqueue(Init(incarnation, sites=program.sites))
+        self.engine.run()
+        self._issue_next(runtime)
+
+    def _issue_next(self, runtime: _GlobalRuntime) -> None:
+        if runtime.done:
+            return
+        if runtime.cursor >= len(runtime.plan):
+            self._maybe_complete(runtime)
+            return
+        planned = runtime.plan[runtime.cursor]
+        if planned.is_ser_image:
+            self.engine.enqueue(
+                Ser(runtime.incarnation, site=planned.operation.site)
+            )
+            self.engine.run()
+        else:
+            self._submit_through_server(runtime, planned)
+
+    def _submit_through_server(
+        self, runtime: _GlobalRuntime, planned: PlannedOp
+    ) -> None:
+        server = Server(
+            runtime.incarnation,
+            self.sites[planned.operation.site],
+            self.loop,
+            self.config.latencies,
+        )
+        incarnation = runtime.incarnation
+
+        def completion(operation: Operation, value: Any, aborted: bool) -> None:
+            self._on_completion(incarnation, operation, value, aborted)
+
+        server.submit(
+            planned.operation,
+            completion,
+            read_set=planned.read_set,
+            write_set=planned.write_set,
+        )
+
+    def _execute_ser(self, ser: Ser) -> None:
+        """GTM2 released a ser-operation: submit it through the server."""
+        runtime = self._runtimes.get(ser.transaction_id)
+        if runtime is None or runtime.done:
+            return
+        planned = runtime.plan[runtime.cursor]
+        if not planned.is_ser_image or planned.operation.site != ser.site:
+            raise SchedulerError(
+                f"GTM2 released {ser!r} but cursor is at "
+                f"{planned.operation!r}"
+            )
+        self.ser_schedule.append(SerOperation(ser.transaction_id, ser.site))
+        self._submit_through_server(runtime, planned)
+
+    def _on_completion(
+        self,
+        incarnation: str,
+        operation: Operation,
+        value: Any,
+        aborted: bool,
+    ) -> None:
+        runtime = self._runtimes.get(incarnation)
+        if runtime is None or runtime.done:
+            return
+        if aborted:
+            self._abort_global(
+                incarnation, f"subtransaction aborted at {operation.site!r}"
+            )
+            return
+        planned = runtime.plan[runtime.cursor]
+        if planned.operation is not operation:
+            return  # stale completion from a purged incarnation
+        runtime.last_progress = self.loop.now
+        if planned.is_ticket_read:
+            # the value written back is monotone per site; GTM2's
+            # one-outstanding-per-site rule makes the release order
+            # authoritative even when an uncommitted predecessor's
+            # ticket write is not yet visible to this read
+            counter = self._ticket_counters.get(operation.site, 0)
+            runtime.ticket_values[operation.site] = max(
+                (value or 0) + 1, counter + 1
+            )
+            self._ticket_counters[operation.site] = (
+                runtime.ticket_values[operation.site]
+            )
+        if planned.is_ticket_write:
+            self.sites[operation.site].write_value(
+                incarnation,
+                operation.item,
+                runtime.ticket_values.get(operation.site, 1),
+            )
+        runtime.cursor += 1
+        if planned.is_ticket_read:
+            # the ticket pair is one ser unit: the write follows the
+            # read back-to-back; the ack goes out when the write lands
+            self._submit_through_server(
+                runtime, runtime.plan[runtime.cursor]
+            )
+            return
+        if planned.is_ser_image or planned.is_ticket_write:
+            self.engine.enqueue(Ack(incarnation, site=operation.site))
+            self.engine.run()
+        self._issue_next(runtime)
+
+    def _on_gtm1_ack(self, ack: Ack) -> None:
+        runtime = self._runtimes.get(ack.transaction_id)
+        if runtime is None or runtime.done:
+            return
+        runtime.acks_outstanding.discard(ack.site)
+        if not runtime.acks_outstanding and not runtime.fin_enqueued:
+            runtime.fin_enqueued = True
+            self.engine.enqueue(Fin(ack.transaction_id))
+
+    def _maybe_complete(self, runtime: _GlobalRuntime) -> None:
+        if runtime.acks_outstanding:
+            return
+        runtime.done = True
+        del self._runtimes[runtime.incarnation]
+        logical = self._logical(runtime.incarnation)
+        self.committed_global.append(logical)
+        self._stats[logical].committed_at = self.loop.now
+
+    def _logical(self, incarnation: str) -> str:
+        return incarnation.split("#", 1)[0]
+
+    def _abort_global(self, incarnation: str, reason: str) -> None:
+        runtime = self._runtimes.pop(incarnation, None)
+        if runtime is None or runtime.done:
+            return
+        runtime.done = True
+        self.global_aborts += 1
+        for site in runtime.program.sites:
+            Server(
+                incarnation, self.sites[site], self.loop, self.config.latencies
+            ).abort(reason)
+        self.engine.purge_transaction(incarnation)
+        remover = getattr(self.scheme, "remove_transaction", None)
+        if remover is not None:
+            remover(incarnation)
+        self.engine.run()
+        logical = self._logical(incarnation)
+        self._restart_count[logical] += 1
+        if self._restart_count[logical] <= self.config.max_restarts:
+            self.loop.schedule(
+                self.config.restart_backoff,
+                lambda: self._start_incarnation(logical),
+            )
+        else:
+            self.failed_global.append(logical)
+
+    # ------------------------------------------------------------------
+    # local transactions (invisible to the GTM)
+    # ------------------------------------------------------------------
+    def _run_local(self, program: LocalProgram, attempt: int) -> None:
+        db = self.sites[program.site]
+        incarnation = (
+            program.transaction_id
+            if attempt == 0
+            else f"{program.transaction_id}#{attempt}"
+        )
+        operations: List[Operation] = [begin_op(incarnation, program.site)]
+        for kind, item in program.accesses:
+            maker = read_op if kind == "r" else write_op
+            operations.append(maker(incarnation, item, program.site))
+        operations.append(commit_op(incarnation, program.site))
+        server = Server(incarnation, db, self.loop, self.config.latencies)
+        cursor = {"index": 0}
+
+        def completion(operation: Operation, value: Any, aborted: bool) -> None:
+            if aborted:
+                self.local_aborts += 1
+                if attempt < self.config.max_restarts:
+                    self.loop.schedule(
+                        self.config.restart_backoff,
+                        lambda: self._run_local(program, attempt + 1),
+                    )
+                return
+            cursor["index"] += 1
+            if cursor["index"] >= len(operations):
+                self.committed_local += 1
+                return
+            server.submit(
+                operations[cursor["index"]],
+                completion,
+                read_set=program.read_set(),
+                write_set=program.write_set(),
+            )
+
+        server.submit(
+            operations[0],
+            completion,
+            read_set=program.read_set(),
+            write_set=program.write_set(),
+        )
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def global_schedule(self) -> GlobalSchedule:
+        global_ids = {
+            incarnation
+            for incarnation in self._all_incarnations()
+        }
+        return GlobalSchedule(
+            {
+                site: db.history.committed_schedule()
+                for site, db in self.sites.items()
+            },
+            global_transaction_ids=global_ids,
+        )
+
+    def _all_incarnations(self) -> Set[str]:
+        ids: Set[str] = set()
+        for logical, count in self._restart_count.items():
+            ids.add(logical)
+            for attempt in range(1, count + 1):
+                ids.add(f"{logical}#{attempt}")
+        return ids
+
+    def verify_serializable(self) -> Tuple[str, ...]:
+        return self.global_schedule().assert_globally_serializable()

@@ -1,0 +1,122 @@
+"""Global-serializability verification from ground truth.
+
+Everything here works from the *local history logs* — what each site
+actually executed — never from any scheduler's bookkeeping, so a buggy
+scheme cannot certify itself.  Provided checks:
+
+- per-site conflict serializability (the paper's standing assumption);
+- global serializability: acyclicity of the union of the local
+  serialization graphs over committed transactions (Theorem 1's target);
+- consistency of the GTM's ``ser(S)`` with the executed global schedule
+  (the Theorem 2 link): the ser-operation order must be a valid
+  serialization order prefix for the global transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import NonSerializableError
+from repro.schedules.global_schedule import GlobalSchedule, SerSchedule
+from repro.schedules.serialization_graph import (
+    DirectedGraph,
+    serialization_graph,
+)
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a full verification pass."""
+
+    locals_serializable: bool
+    globally_serializable: bool
+    ser_schedule_serializable: bool
+    #: witness global serial order when serializable, else ()
+    witness: Tuple[str, ...]
+    #: witness cycle when not serializable, else ()
+    cycle: Tuple[str, ...]
+    #: per-site serialization-graph sizes, for reporting
+    site_edges: Dict[str, int]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.locals_serializable
+            and self.globally_serializable
+            and self.ser_schedule_serializable
+        )
+
+
+def verify(
+    global_schedule: GlobalSchedule,
+    ser_schedule: Optional[SerSchedule] = None,
+) -> VerificationReport:
+    """Run every check; never raises — the report carries the verdicts."""
+    locals_ok = global_schedule.are_locals_serializable()
+    graph = global_schedule.global_serialization_graph()
+    cycle = graph.find_cycle()
+    witness: Tuple[str, ...] = ()
+    if cycle is None:
+        witness = graph.topological_order()
+    ser_ok = True
+    if ser_schedule is not None:
+        ser_ok = ser_schedule.is_serializable()
+    site_edges = {
+        site: len(serialization_graph(global_schedule.local_schedule(site)).edges)
+        for site in global_schedule.sites
+    }
+    return VerificationReport(
+        locals_serializable=locals_ok,
+        globally_serializable=cycle is None,
+        ser_schedule_serializable=ser_ok,
+        witness=witness,
+        cycle=cycle or (),
+        site_edges=site_edges,
+    )
+
+
+def assert_verified(
+    global_schedule: GlobalSchedule,
+    ser_schedule: Optional[SerSchedule] = None,
+) -> VerificationReport:
+    """Like :func:`verify` but raises on any failed check."""
+    report = verify(global_schedule, ser_schedule)
+    if not report.locals_serializable:
+        raise NonSerializableError(
+            message="a local schedule is not conflict serializable"
+        )
+    if not report.globally_serializable:
+        raise NonSerializableError(report.cycle)
+    if not report.ser_schedule_serializable:
+        raise NonSerializableError(
+            message="the GTM's ser(S) is not serializable"
+        )
+    return report
+
+
+def serialization_order_consistent(
+    global_schedule: GlobalSchedule, ser_schedule: SerSchedule
+) -> bool:
+    """Theorem 1's premise, checked on concrete data: the ser-operation
+    order must be consistent with the committed global serialization
+    graph restricted to global transactions (no edge may point against
+    the ser(S) topological order)."""
+    if not ser_schedule.is_serializable():
+        return False
+    try:
+        order = ser_schedule.witness_order()
+    except NonSerializableError:
+        return False
+    position = {txn: index for index, txn in enumerate(order)}
+    for site in global_schedule.sites:
+        graph = serialization_graph(global_schedule.local_schedule(site))
+        for source in graph.nodes:
+            if source not in position:
+                continue
+            # paths through local transactions are exactly the indirect
+            # conflicts of the paper's model — follow reachability
+            for target in graph.reachable_from(source):
+                if target in position and position[source] > position[target]:
+                    return False
+    return True

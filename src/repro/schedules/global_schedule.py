@@ -1,0 +1,260 @@
+"""Global schedules, restrictions, and the ``ser(S)`` reduction (paper §2).
+
+A global schedule *S* is the set of all operations of local and global
+transactions with a partial order; the local schedule at site ``s_k`` is
+the restriction of *S* to the operations executing at ``s_k``, with a
+total order.  This module represents *S* as the collection of its local
+schedules (which is faithful: the paper's partial order on *S* is exactly
+the union of the local total orders plus each transaction's program
+order), builds the projected schedule ``ser(S)`` of Theorems 1–2, and
+provides the global-serializability test used for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import NonSerializableError, ScheduleError
+from repro.schedules.model import Operation, Schedule
+from repro.schedules.serialization_graph import (
+    DirectedGraph,
+    serialization_graph,
+    union_graph,
+)
+
+
+class GlobalSchedule:
+    """A global MDBS schedule represented by its per-site local schedules.
+
+    Parameters
+    ----------
+    local_schedules:
+        Mapping from site identifier to the (totally ordered) local
+        schedule that executed there.
+    global_transaction_ids:
+        Which transaction identifiers denote *global* transactions (those
+        coordinated by the GTM).  All other transactions appearing in the
+        local schedules are local transactions.
+    """
+
+    def __init__(
+        self,
+        local_schedules: Mapping[str, Schedule],
+        global_transaction_ids: Iterable[str] = (),
+    ) -> None:
+        self._local_schedules: Dict[str, Schedule] = dict(local_schedules)
+        self._global_ids = set(global_transaction_ids)
+        for site, schedule in self._local_schedules.items():
+            for operation in schedule:
+                if operation.site is not None and operation.site != site:
+                    raise ScheduleError(
+                        f"operation {operation!r} claims site "
+                        f"{operation.site!r} but appears in the local "
+                        f"schedule of {site!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        return tuple(self._local_schedules)
+
+    def local_schedule(self, site: str) -> Schedule:
+        return self._local_schedules[site]
+
+    @property
+    def global_transaction_ids(self) -> frozenset:
+        return frozenset(self._global_ids)
+
+    @property
+    def local_transaction_ids(self) -> frozenset:
+        ids = set()
+        for schedule in self._local_schedules.values():
+            ids.update(schedule.transaction_ids)
+        return frozenset(ids - self._global_ids)
+
+    def sites_of(self, transaction_id: str) -> Tuple[str, ...]:
+        """Sites at which *transaction_id* executed at least one operation."""
+        return tuple(
+            site
+            for site, schedule in self._local_schedules.items()
+            if schedule.operations_of(transaction_id)
+        )
+
+    # ------------------------------------------------------------------
+    # serializability
+    # ------------------------------------------------------------------
+    def local_serialization_graphs(self) -> Dict[str, DirectedGraph]:
+        return {
+            site: serialization_graph(schedule)
+            for site, schedule in self._local_schedules.items()
+        }
+
+    def global_serialization_graph(self) -> DirectedGraph:
+        """The union of all local serialization graphs.
+
+        The global schedule is (conflict) serializable iff this union is
+        acyclic, because every conflict in S occurs inside exactly one
+        local schedule.
+        """
+        return union_graph(self.local_serialization_graphs().values())
+
+    def is_globally_serializable(self) -> bool:
+        return self.global_serialization_graph().is_acyclic()
+
+    def assert_globally_serializable(self) -> Tuple[str, ...]:
+        """A witness global serial order, or raise with a witness cycle."""
+        return self.global_serialization_graph().topological_order()
+
+    def are_locals_serializable(self) -> bool:
+        """The paper's standing assumption: each local DBMS produces
+        conflict-serializable local schedules."""
+        return all(
+            serialization_graph(schedule).is_acyclic()
+            for schedule in self._local_schedules.values()
+        )
+
+    def __repr__(self) -> str:
+        sizes = {site: len(s) for site, s in self._local_schedules.items()}
+        return f"<GlobalSchedule sites={sizes} globals={len(self._global_ids)}>"
+
+
+@dataclass(frozen=True)
+class SerOperation:
+    """One operation of the projected schedule ``ser(S)``.
+
+    ``ser_k(G_i)``: the serialization-function image of global transaction
+    ``transaction_id`` at site ``site``.  Two ``SerOperation``s *conflict*
+    iff they are at the same site (paper §2.3), regardless of data items.
+    """
+
+    transaction_id: str
+    site: str
+
+    def conflicts_with(self, other: "SerOperation") -> bool:
+        return (
+            self.site == other.site
+            and self.transaction_id != other.transaction_id
+        )
+
+    def __repr__(self) -> str:
+        return f"ser_{self.site}({self.transaction_id})"
+
+
+class SerSchedule:
+    """The projected schedule ``ser(S)`` (paper §2.3).
+
+    A totally ordered sequence of :class:`SerOperation` — the order is the
+    order in which the serialization-function operations executed (at
+    GTM2, this is the order in which ``act(ser_k(G_i))`` ran).  Conflicts
+    are site-equality; the serialization graph over those conflicts being
+    acyclic is exactly the sufficient condition of Theorem 2.
+    """
+
+    def __init__(self, operations: Iterable[SerOperation] = ()) -> None:
+        self._operations: List[SerOperation] = []
+        for operation in operations:
+            self.append(operation)
+
+    def append(self, operation: SerOperation) -> SerOperation:
+        self._operations.append(operation)
+        return operation
+
+    @property
+    def operations(self) -> Tuple[SerOperation, ...]:
+        return tuple(self._operations)
+
+    @property
+    def transaction_ids(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for operation in self._operations:
+            if operation.transaction_id not in seen:
+                seen.append(operation.transaction_id)
+        return tuple(seen)
+
+    def serialization_graph(self) -> DirectedGraph:
+        """SG over ser-conflicts: edge Gi -> Gj whenever some
+        ``ser_k(G_i)`` precedes a conflicting ``ser_k(G_j)``."""
+        graph = DirectedGraph()
+        for transaction_id in self.transaction_ids:
+            graph.add_node(transaction_id)
+        for i, first in enumerate(self._operations):
+            for second in self._operations[i + 1 :]:
+                if first.conflicts_with(second):
+                    graph.add_edge(first.transaction_id, second.transaction_id)
+        return graph
+
+    def is_serializable(self) -> bool:
+        return self.serialization_graph().is_acyclic()
+
+    def witness_order(self) -> Tuple[str, ...]:
+        return self.serialization_graph().topological_order()
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self):
+        return iter(self._operations)
+
+    def __repr__(self) -> str:
+        return f"<SerSchedule {' '.join(map(repr, self._operations))}>"
+
+
+def ser_projection(
+    global_schedule: GlobalSchedule,
+    ser_images: Mapping[str, Mapping[str, Operation]],
+) -> SerSchedule:
+    """Build ``ser(S)`` from a global schedule and serialization-function
+    images.
+
+    Parameters
+    ----------
+    global_schedule:
+        The executed global schedule.
+    ser_images:
+        ``ser_images[site][transaction_id]`` is the concrete operation
+        ``ser_k(G_i)`` chosen by the site's serialization function
+        (see :mod:`repro.schedules.serialization_functions`).
+
+    The order of the resulting :class:`SerSchedule` lists operations site
+    by site is irrelevant *across* sites (only same-site operations
+    conflict); within a site it follows the local schedule order, which is
+    what Theorem 1 requires.
+    """
+    ser_schedule = SerSchedule()
+    for site in global_schedule.sites:
+        images = ser_images.get(site, {})
+        local = global_schedule.local_schedule(site)
+        positions = []
+        for transaction_id, operation in images.items():
+            positions.append((local.position(operation), transaction_id))
+        for _, transaction_id in sorted(positions):
+            ser_schedule.append(SerOperation(transaction_id, site))
+    return ser_schedule
+
+
+def theorem1_holds(
+    global_schedule: GlobalSchedule, ser_schedule: SerSchedule
+) -> bool:
+    """Check the premise and conclusion of Theorems 1–2 on concrete data:
+    if every local schedule is serializable and ``ser(S)`` is
+    serializable, then S must be globally serializable.  Returns the value
+    of the *conclusion*; raises if the theorem were violated (it cannot
+    be, so a violation indicates a bug in the substrate — this is used as
+    a self-check by the verification layer and the property tests).
+    """
+    if not global_schedule.are_locals_serializable():
+        return global_schedule.is_globally_serializable()
+    if not ser_schedule.is_serializable():
+        return global_schedule.is_globally_serializable()
+    if not global_schedule.is_globally_serializable():
+        raise NonSerializableError(
+            message=(
+                "Theorem 2 violated: ser(S) serializable and locals "
+                "serializable, yet S is not globally serializable — "
+                "substrate bug"
+            )
+        )
+    return True

@@ -1,0 +1,198 @@
+"""Serialization functions (paper §2.2).
+
+A serialization function ``ser_k`` for site ``s_k`` maps every transaction
+executing at ``s_k`` to one of its operations such that the order of those
+images in the local schedule is consistent with the local serialization
+order.  Which function exists depends on the site's concurrency-control
+protocol:
+
+- **Timestamp ordering** (timestamps at begin): ``ser_k(T) = begin(T)``.
+- **Two-phase locking**: any operation between the lock point (last lock
+  acquired) and the first lock release; we use the operation at the lock
+  point.
+- **SGT / optimistic** protocols admit no serialization function; a
+  *ticket* (a forced write to a designated item) is introduced, and
+  ``ser_k(T)`` is the ticket write ([GRS91], §2.2 of the paper).
+
+Each strategy below both *selects* the designated operation for a
+transaction and, for validation, *checks* after the fact that the images
+respect the local serialization order (used heavily in tests to certify
+that the selection really is a serialization function).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import ProtocolViolation
+from repro.schedules.model import Operation, OpType, Schedule
+from repro.schedules.serialization_graph import serialization_graph
+
+
+class SerializationFunction:
+    """Base class: maps transactions of one site to designated operations."""
+
+    #: human-readable strategy name
+    name = "abstract"
+
+    def image(self, schedule: Schedule, transaction_id: str) -> Operation:
+        """The designated operation ``ser_k(T)`` for *transaction_id* in
+        the (complete) local *schedule*."""
+        raise NotImplementedError
+
+    def images(self, schedule: Schedule) -> Dict[str, Operation]:
+        """Images for every transaction appearing in *schedule*."""
+        return {
+            transaction_id: self.image(schedule, transaction_id)
+            for transaction_id in schedule.transaction_ids
+        }
+
+    def is_valid_for(self, schedule: Schedule) -> bool:
+        """Validate the defining property on *schedule*: whenever ``Ti`` is
+        serialized before ``Tj`` locally, ``ser(Ti)`` precedes ``ser(Tj)``.
+
+        Serialization order is taken from the local serialization graph:
+        an SG edge ``Ti -> Tj`` means ``Ti`` serializes before ``Tj`` in
+        every equivalent serial order, so the images must be ordered the
+        same way.
+        """
+        graph = serialization_graph(schedule)
+        if not graph.is_acyclic():
+            raise ProtocolViolation(
+                "serialization functions are only defined over serializable "
+                "local schedules"
+            )
+        images = self.images(schedule)
+        for source, target in graph.edges:
+            if not schedule.precedes(images[source], images[target]):
+                return False
+        return True
+
+
+class BeginSerializationFunction(SerializationFunction):
+    """``ser_k(T) = b(T)`` — valid for TO sites that timestamp at begin."""
+
+    name = "begin"
+
+    def image(self, schedule: Schedule, transaction_id: str) -> Operation:
+        for operation in schedule.operations_of(transaction_id):
+            if operation.op_type is OpType.BEGIN:
+                return operation
+        raise ProtocolViolation(
+            f"transaction {transaction_id!r} has no begin operation at this "
+            "site; a begin-based serialization function requires one"
+        )
+
+
+class FirstOperationSerializationFunction(SerializationFunction):
+    """``ser_k(T)`` = first data operation — valid for conservative TO
+    sites that assign the timestamp when the first operation arrives."""
+
+    name = "first-op"
+
+    def image(self, schedule: Schedule, transaction_id: str) -> Operation:
+        for operation in schedule.operations_of(transaction_id):
+            if operation.accesses_data:
+                return operation
+        raise ProtocolViolation(
+            f"transaction {transaction_id!r} has no data operation at this "
+            "site"
+        )
+
+
+class LockPointSerializationFunction(SerializationFunction):
+    """Lock-point image for 2PL sites.
+
+    For strict 2PL every lock is held until commit, so the lock point is
+    the transaction's *last data operation* (the last lock is acquired
+    there) and any operation from there to commit works; we pick the last
+    data operation itself (footnote 3 of the paper permits any operation
+    in the window).
+    """
+
+    name = "lock-point"
+
+    def image(self, schedule: Schedule, transaction_id: str) -> Operation:
+        last_data: Optional[Operation] = None
+        for operation in schedule.operations_of(transaction_id):
+            if operation.accesses_data:
+                last_data = operation
+        if last_data is None:
+            raise ProtocolViolation(
+                f"transaction {transaction_id!r} has no data operation at "
+                "this site"
+            )
+        return last_data
+
+
+class CommitSerializationFunction(SerializationFunction):
+    """``ser_k(T) = c(T)`` — valid for strict 2PL (commit lies inside the
+    locked window) and for optimistic protocols that serialize at commit
+    (validation order = commit order)."""
+
+    name = "commit"
+
+    def image(self, schedule: Schedule, transaction_id: str) -> Operation:
+        for operation in schedule.operations_of(transaction_id):
+            if operation.op_type is OpType.COMMIT:
+                return operation
+        raise ProtocolViolation(
+            f"transaction {transaction_id!r} has no commit operation at this "
+            "site"
+        )
+
+
+class TicketSerializationFunction(SerializationFunction):
+    """``ser_k(T)`` = the transaction's write to the site's ticket item.
+
+    For protocols (SGT, some optimistic variants) with no natural
+    serialization function, every global subtransaction is forced to write
+    the designated *ticket* data item, creating direct conflicts between
+    all global subtransactions at the site (paper §2.2, [GRS91]).
+    """
+
+    name = "ticket"
+
+    def __init__(self, ticket_item: str = "__ticket__") -> None:
+        self.ticket_item = ticket_item
+
+    def image(self, schedule: Schedule, transaction_id: str) -> Operation:
+        for operation in schedule.operations_of(transaction_id):
+            if operation.is_write and operation.item == self.ticket_item:
+                return operation
+        raise ProtocolViolation(
+            f"transaction {transaction_id!r} never wrote the ticket item "
+            f"{self.ticket_item!r} at this site"
+        )
+
+
+#: Registry mapping local-protocol names to the serialization-function
+#: strategy the GTM uses for sites running that protocol.
+DEFAULT_STRATEGIES: Mapping[str, Callable[[], SerializationFunction]] = {
+    "2pl": LockPointSerializationFunction,
+    "strict-2pl": CommitSerializationFunction,
+    "wound-wait-2pl": CommitSerializationFunction,
+    "wait-die-2pl": CommitSerializationFunction,
+    "to": BeginSerializationFunction,
+    "conservative-to": FirstOperationSerializationFunction,
+    "sgt": TicketSerializationFunction,
+    "occ": TicketSerializationFunction,
+}
+
+
+def strategy_for_protocol(protocol_name: str) -> SerializationFunction:
+    """The default serialization-function strategy for a local protocol.
+
+    Raises
+    ------
+    ProtocolViolation
+        If the protocol has no registered strategy.
+    """
+    try:
+        factory = DEFAULT_STRATEGIES[protocol_name]
+    except KeyError:
+        raise ProtocolViolation(
+            f"no serialization-function strategy registered for protocol "
+            f"{protocol_name!r}"
+        ) from None
+    return factory()

@@ -1,0 +1,123 @@
+"""Parameterized workload generation.
+
+The knobs mirror the paper's analysis parameters:
+
+- ``m`` — number of sites;
+- ``n`` — number of concurrently active global transactions (the
+  multiprogramming level);
+- ``dav`` — average number of sites a global transaction executes at;
+- plus the usual database-workload knobs (items per site, operations per
+  subtransaction, read fraction, access skew, local-transaction mix).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.gtm import GlobalProgram
+from repro.workloads.distributions import UniformItems, ZipfItems, make_items
+
+
+@dataclass
+class WorkloadConfig:
+    """Configuration of one generated workload."""
+
+    sites: int = 3
+    items_per_site: int = 16
+    #: average number of sites per global transaction (dav)
+    dav: float = 2.0
+    #: operations per subtransaction (per site)
+    ops_per_site: int = 2
+    read_fraction: float = 0.5
+    #: Zipf skew of item choice; 0 = uniform
+    theta: float = 0.0
+    seed: int = 0
+
+    @property
+    def site_names(self) -> List[str]:
+        return [f"s{index}" for index in range(self.sites)]
+
+
+@dataclass
+class LocalProgram:
+    """A predeclared local transaction (single site, direct submission)."""
+
+    transaction_id: str
+    site: str
+    accesses: Tuple[Tuple[str, str], ...]  # (kind, item)
+
+    def read_set(self) -> frozenset:
+        return frozenset(i for k, i in self.accesses if k == "r")
+
+    def write_set(self) -> frozenset:
+        return frozenset(i for k, i in self.accesses if k == "w")
+
+
+class WorkloadGenerator:
+    """Deterministic generator of global and local transaction programs."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self._pools = {
+            site: self._make_pool(site) for site in config.site_names
+        }
+        self._global_counter = 0
+        self._local_counter = 0
+
+    def _make_pool(self, site: str):
+        items = make_items(self.config.items_per_site, prefix=f"{site}_x")
+        if self.config.theta > 0:
+            return ZipfItems(items, self.config.theta)
+        return UniformItems(items)
+
+    def _site_count(self) -> int:
+        """Sample a per-transaction site count with mean ≈ dav."""
+        dav = self.config.dav
+        sites = self.config.sites
+        low = int(dav)
+        if low >= sites:
+            return sites
+        frac = dav - low
+        count = low + (1 if self.rng.random() < frac else 0)
+        return max(1, min(count, sites))
+
+    def global_program(self) -> GlobalProgram:
+        """Generate the next global transaction."""
+        self._global_counter += 1
+        transaction_id = f"G{self._global_counter}"
+        chosen = self.rng.sample(self.config.site_names, self._site_count())
+        accesses: List[Tuple[str, str, str]] = []
+        for site in chosen:
+            for _ in range(self.config.ops_per_site):
+                kind = (
+                    "r"
+                    if self.rng.random() < self.config.read_fraction
+                    else "w"
+                )
+                accesses.append((site, kind, self._pools[site].sample(self.rng)))
+        self.rng.shuffle(accesses)
+        return GlobalProgram.build(transaction_id, accesses)
+
+    def global_batch(self, count: int) -> List[GlobalProgram]:
+        return [self.global_program() for _ in range(count)]
+
+    def local_program(self, site: Optional[str] = None) -> LocalProgram:
+        """Generate the next local transaction (defaults to a random
+        site).  Local transactions bypass the GTM entirely — they are the
+        source of the *indirect conflicts* of the paper's model."""
+        self._local_counter += 1
+        if site is None:
+            site = self.rng.choice(self.config.site_names)
+        accesses: List[Tuple[str, str]] = []
+        for _ in range(self.config.ops_per_site):
+            kind = (
+                "r" if self.rng.random() < self.config.read_fraction else "w"
+            )
+            accesses.append((kind, self._pools[site].sample(self.rng)))
+        return LocalProgram(f"L{self._local_counter}", site, tuple(accesses))
+
+    def local_batch(self, count: int) -> List[LocalProgram]:
+        return [self.local_program() for _ in range(count)]

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scheme == "scheme3"
+        assert args.sites == 3
+
+    def test_protocol_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--protocols", "voodoo"]
+            )
+
+
+class TestCommands:
+    def test_simulate_runs_and_verifies(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--scheme",
+                "scheme2",
+                "--sites",
+                "2",
+                "--globals",
+                "5",
+                "--locals",
+                "4",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "globally serializable" in out
+        assert "True" in out
+
+    def test_simulate_with_explicit_protocols(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--sites",
+                "2",
+                "--globals",
+                "4",
+                "--locals",
+                "0",
+                "--protocols",
+                "conservative-2pl",
+                "occ",
+            ]
+        )
+        assert rc == 0
+
+    def test_compare_prints_all_schemes(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--schemes",
+                "scheme0",
+                "scheme3",
+                "--txns",
+                "10",
+                "--traces",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scheme0" in out and "scheme3" in out
+
+    def test_compare_includes_baselines(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--schemes",
+                "otm",
+                "site-graph",
+                "--txns",
+                "8",
+                "--traces",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "otm" in out
+
+    def test_trace_verbose_output(self, capsys):
+        rc = main(["trace", "--txns", "4", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ser(S) serializable: True" in out
+        assert "witness:" in out
+
+    def test_unknown_scheme_exits(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--scheme", "quantum"])

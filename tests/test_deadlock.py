@@ -1,0 +1,66 @@
+"""Tests for waits-for deadlock detection and victim policies."""
+
+from repro.lmdbs.deadlock import (
+    DeadlockDetector,
+    build_waits_for_graph,
+    find_deadlock,
+    oldest_victim,
+    youngest_victim,
+)
+
+
+class TestDetection:
+    def test_no_cycle(self):
+        assert find_deadlock([("T1", "T2"), ("T2", "T3")]) is None
+
+    def test_two_cycle(self):
+        cycle = find_deadlock([("T1", "T2"), ("T2", "T1")])
+        assert set(cycle) == {"T1", "T2"}
+
+    def test_long_cycle(self):
+        edges = [("T1", "T2"), ("T2", "T3"), ("T3", "T4"), ("T4", "T1")]
+        cycle = find_deadlock(edges)
+        assert set(cycle) == {"T1", "T2", "T3", "T4"}
+
+    def test_graph_builder_deterministic(self):
+        graph = build_waits_for_graph([("b", "a"), ("a", "b")])
+        assert set(graph.nodes) == {"a", "b"}
+
+
+class TestVictimPolicies:
+    def test_youngest_is_latest_begin(self):
+        ages = {"T1": 1, "T2": 2, "T3": 3}
+        assert youngest_victim(("T1", "T2", "T3"), ages) == "T3"
+
+    def test_oldest_is_earliest_begin(self):
+        ages = {"T1": 1, "T2": 2}
+        assert oldest_victim(("T1", "T2"), ages) == "T1"
+
+    def test_tie_breaks_lexicographically(self):
+        assert youngest_victim(("Tb", "Ta"), {}) == "Tb"
+
+
+class TestDetector:
+    def test_detector_reports_victim_and_cycle(self):
+        edges = set()
+        detector = DeadlockDetector(lambda: edges)
+        detector.register_begin("T1")
+        detector.register_begin("T2")
+        edges.update({("T1", "T2"), ("T2", "T1")})
+        victim, cycle = detector.check()
+        assert victim == "T2"  # youngest
+        assert set(cycle) == {"T1", "T2"}
+        assert detector.deadlocks_found == 1
+
+    def test_detector_none_without_cycle(self):
+        detector = DeadlockDetector(lambda: {("T1", "T2")})
+        assert detector.check() is None
+
+    def test_forget_removes_age(self):
+        edges = {("T1", "T2"), ("T2", "T1")}
+        detector = DeadlockDetector(lambda: edges)
+        detector.register_begin("T1")
+        detector.register_begin("T2")
+        detector.forget("T2")
+        victim, _ = detector.check()
+        assert victim in {"T1", "T2"}

@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example runs to completion and prints its
+headline output (the examples are part of the public API surface)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXPECTED_MARKERS = {
+    "quickstart.py": "globally serializable",
+    "banking_transfers.py": "globally serializable: True",
+    "travel_booking.py": "committed itineraries",
+    "scheme_comparison.py": "Reading guide",
+    "fault_tolerant_gtm.py": "recovery is exact",
+    "custom_scheme.py": "round-robin",
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+def test_example_runs(name):
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"example {name} missing"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert EXPECTED_MARKERS[name] in result.stdout
+
+
+def test_all_examples_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_MARKERS)

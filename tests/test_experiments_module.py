@@ -1,0 +1,52 @@
+"""Tests for the programmatic experiment runner and report command."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    experiment_aborts,
+    experiment_permits_all,
+    render_report,
+)
+from repro.cli import main
+
+
+class TestSections:
+    def test_permits_all_verdict_positive(self):
+        section = experiment_permits_all(streams=4)
+        assert "never waits" in section.verdict
+        assert "scheme3" in section.table
+
+    def test_aborts_verdict_positive(self):
+        section = experiment_aborts(traces=3)
+        assert "abort nothing" in section.verdict
+
+    def test_section_renders_markdown(self):
+        section = experiment_permits_all(streams=2)
+        text = section.render()
+        assert text.startswith("## E3")
+        assert "**Claim.**" in text
+        assert "```" in text
+
+
+class TestReport:
+    def test_registry_contains_core_experiments(self):
+        assert {"E1", "E2", "E3", "E6", "E7"} <= set(ALL_EXPERIMENTS)
+
+    def test_render_report_subset(self):
+        text = render_report(["E3"])
+        assert "# Experiment report" in text
+        assert "## E3" in text
+        assert "## E7" not in text
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        rc = main(
+            ["report", "--experiments", "E3", "-o", str(target)]
+        )
+        assert rc == 0
+        assert "## E3" in target.read_text()
+
+    def test_cli_report_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--experiments", "E42"])

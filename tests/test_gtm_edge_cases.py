@@ -1,0 +1,131 @@
+"""Edge-case tests for the synchronous GTM: restarts, failure reporting,
+purging, ticket monotonicity, and abort-listener integration."""
+
+import pytest
+
+from repro.core import GlobalProgram, GTMSystem, make_scheme
+from repro.lmdbs import LocalDBMS, make_protocol
+from repro.schedules.model import begin as begin_op, write as write_op
+
+
+class TestRestartMachinery:
+    def test_failed_after_max_restarts(self):
+        """A transaction whose item is held forever by a rogue local
+        transaction exhausts its restarts and is reported failed."""
+        sites = {"s0": LocalDBMS("s0", make_protocol("strict-2pl"))}
+        db = sites["s0"]
+        db.submit(begin_op("Lhog", "s0"))
+        db.submit(write_op("Lhog", "x", "s0"))  # never commits
+        gtm = GTMSystem(sites, make_scheme("scheme0"), max_restarts=2)
+        gtm.submit_global(GlobalProgram.build("G1", [("s0", "r", "x")]))
+        gtm.run()
+        assert gtm.failed == ["G1"]
+        assert gtm.committed == []
+        assert gtm.global_aborts == 3  # original + 2 retries
+
+    def test_restart_succeeds_after_blocker_clears(self):
+        sites = {"s0": LocalDBMS("s0", make_protocol("to"))}
+        gtm = GTMSystem(sites, make_scheme("scheme3"))
+        # produce a TO rejection: G1 (older) reads x after G2 wrote it
+        gtm.submit_global(
+            GlobalProgram.build("G1", [("s0", "r", "x"), ("s0", "r", "x")])
+        )
+        gtm.submit_global(GlobalProgram.build("G2", [("s0", "w", "x")]))
+        gtm.run()
+        assert sorted(gtm.committed) == ["G1", "G2"]
+        # at least one incarnation was retried
+        incarnations = set(gtm._logical_of)
+        assert any("#" in incarnation for incarnation in incarnations)
+
+    def test_incarnation_ids_in_history(self):
+        sites = {"s0": LocalDBMS("s0", make_protocol("to"))}
+        gtm = GTMSystem(sites, make_scheme("scheme0"))
+        gtm.submit_global(
+            GlobalProgram.build("G1", [("s0", "r", "x"), ("s0", "r", "x")])
+        )
+        gtm.submit_global(GlobalProgram.build("G2", [("s0", "w", "x")]))
+        gtm.run()
+        schedule = gtm.global_schedule()
+        # aborted incarnations are excluded from the committed projection
+        for txn in schedule.local_schedule("s0").transaction_ids:
+            assert txn in schedule.global_transaction_ids
+
+
+class TestTickets:
+    def test_ticket_values_strictly_monotone(self):
+        sites = {"s0": LocalDBMS("s0", make_protocol("occ"))}
+        gtm = GTMSystem(sites, make_scheme("scheme3"))
+        for index in range(6):
+            gtm.submit_global(
+                GlobalProgram.build(f"G{index}", [("s0", "w", f"i{index}")])
+            )
+        gtm.run()
+        assert len(gtm.committed) == 6
+        # final ticket = number of successful ticket takers
+        final = sites["s0"].storage.committed_value("__ticket__")
+        assert final >= 6
+
+    def test_ticket_order_matches_ser_schedule(self):
+        sites = {"s0": LocalDBMS("s0", make_protocol("sgt"))}
+        gtm = GTMSystem(sites, make_scheme("scheme1"))
+        for index in range(4):
+            gtm.submit_global(
+                GlobalProgram.build(f"G{index}", [("s0", "w", "x")])
+            )
+        gtm.run()
+        ser_order = [op.transaction_id for op in gtm.ser_schedule]
+        history = sites["s0"].history.committed_schedule()
+        ticket_writes = [
+            op.transaction_id
+            for op in history
+            if op.is_write and op.item == "__ticket__"
+        ]
+        # submission (ser) order and ticket-write execution order agree
+        committed_ser = [t for t in ser_order if t in ticket_writes]
+        assert committed_ser == ticket_writes
+
+
+class TestListenerIntegration:
+    def test_wounded_global_is_restarted(self):
+        """A global transaction wounded at a site while idle there (no
+        pending operation) is detected via the abort listener and
+        retried."""
+        sites = {
+            "s0": LocalDBMS("s0", make_protocol("wound-wait-2pl")),
+            "s1": LocalDBMS("s1", make_protocol("to")),
+        }
+        gtm = GTMSystem(sites, make_scheme("scheme3"))
+        # G1 grabs x at s0, then works at s1; meanwhile G2 (older? no —
+        # ages are begin order at the site) wounds it.  Force the order:
+        # G2 begins at s0 first (older there), G1 writes x, G2 then
+        # requests x and wounds G1.
+        gtm.submit_global(
+            GlobalProgram.build(
+                "G2", [("s0", "r", "y"), ("s1", "w", "z"), ("s0", "w", "x")]
+            )
+        )
+        gtm.submit_global(
+            GlobalProgram.build(
+                "G1", [("s0", "w", "x"), ("s1", "w", "w")]
+            )
+        )
+        gtm.run()
+        assert sorted(gtm.committed) == ["G1", "G2"]
+        gtm.verify_serializable()
+
+
+class TestPurge:
+    def test_purged_transaction_leaves_no_scheme_state(self):
+        sites = {
+            "s0": LocalDBMS("s0", make_protocol("to")),
+            "s1": LocalDBMS("s1", make_protocol("to")),
+        }
+        scheme = make_scheme("scheme2")
+        gtm = GTMSystem(sites, scheme)
+        gtm.submit_global(
+            GlobalProgram.build("G1", [("s0", "r", "x"), ("s1", "r", "y")])
+        )
+        gtm.run()
+        # after everything finished, the TSGD is empty
+        assert scheme.tsgd.transactions == ()
+        assert scheme.tsgd.dependencies == frozenset()

@@ -1,0 +1,173 @@
+"""End-to-end tests of the synchronous GTM (GTM1 + GTM2 over real local
+DBMSs), including planning, ticketing, abort handling, and verification."""
+
+import pytest
+
+from repro.core import GlobalProgram, GTMSystem, make_scheme
+from repro.core.gtm import Access, plan_program
+from repro.exceptions import ProtocolViolation
+from repro.lmdbs import LocalDBMS, make_protocol
+from repro.schedules.model import OpType
+
+
+def make_sites(protocols):
+    return {
+        f"s{index}": LocalDBMS(f"s{index}", make_protocol(name))
+        for index, name in enumerate(protocols)
+    }
+
+
+class TestPlanning:
+    def strategy(self, site):
+        return {"s0": "commit", "s1": "begin", "s2": "ticket"}[site]
+
+    def test_plan_structure(self):
+        program = GlobalProgram.build(
+            "G1", [("s0", "r", "x"), ("s1", "w", "y"), ("s2", "w", "z")]
+        )
+        plan = plan_program(program, "G1", self.strategy)
+        kinds = [p.operation.op_type for p in plan]
+        # 3 begins + 3 data ops + ticket pair + 3 commits
+        assert kinds.count(OpType.BEGIN) == 3
+        assert kinds.count(OpType.COMMIT) == 3
+        assert len(plan) == 11
+
+    def test_ser_images_per_strategy(self):
+        program = GlobalProgram.build(
+            "G1", [("s0", "r", "x"), ("s1", "w", "y"), ("s2", "w", "z")]
+        )
+        plan = plan_program(program, "G1", self.strategy)
+        images = {
+            p.operation.site: p.operation.op_type
+            for p in plan
+            if p.is_ser_image
+        }
+        assert images["s0"] is OpType.COMMIT
+        assert images["s1"] is OpType.BEGIN
+        # GTM2 gates the ticket pair from the READ; the image proper is
+        # the write that immediately follows it
+        assert images["s2"] is OpType.READ
+
+    def test_exactly_one_image_per_site(self):
+        program = GlobalProgram.build(
+            "G1", [("s0", "r", "x"), ("s0", "w", "y"), ("s1", "r", "z")]
+        )
+        plan = plan_program(program, "G1", self.strategy)
+        images = [p for p in plan if p.is_ser_image]
+        assert len(images) == 2
+
+    def test_declared_sets_attached_to_begin(self):
+        program = GlobalProgram.build(
+            "G1", [("s0", "r", "x"), ("s0", "w", "y")]
+        )
+        plan = plan_program(program, "G1", self.strategy)
+        begin = plan[0]
+        assert begin.read_set == {"x"}
+        assert begin.write_set == {"y"}
+
+    def test_access_kind_validated(self):
+        with pytest.raises(ProtocolViolation):
+            Access("s1", "q", "x")
+
+    def test_program_site_order(self):
+        program = GlobalProgram.build(
+            "G1", [("s2", "r", "x"), ("s1", "w", "y"), ("s2", "w", "z")]
+        )
+        assert program.sites == ("s2", "s1")
+
+
+@pytest.mark.parametrize(
+    "scheme_name", ["scheme0", "scheme1", "scheme2", "scheme3"]
+)
+class TestEndToEnd:
+    def test_mixed_protocols_serializable(self, scheme_name):
+        sites = make_sites(["strict-2pl", "to", "sgt", "occ"])
+        gtm = GTMSystem(sites, make_scheme(scheme_name))
+        gtm.submit_global(
+            GlobalProgram.build("G1", [("s0", "w", "a"), ("s1", "r", "b")])
+        )
+        gtm.submit_global(
+            GlobalProgram.build("G2", [("s1", "w", "b"), ("s2", "r", "c")])
+        )
+        gtm.submit_global(
+            GlobalProgram.build("G3", [("s2", "w", "c"), ("s3", "w", "d")])
+        )
+        gtm.run()
+        assert sorted(gtm.committed) == ["G1", "G2", "G3"]
+        gtm.verify_serializable()
+        assert gtm.ser_schedule.is_serializable()
+
+    def test_single_site_transaction(self, scheme_name):
+        sites = make_sites(["strict-2pl"])
+        gtm = GTMSystem(sites, make_scheme(scheme_name))
+        gtm.submit_global(GlobalProgram.build("G1", [("s0", "w", "x")]))
+        gtm.run()
+        assert gtm.committed == ["G1"]
+
+    def test_ticket_values_increment(self, scheme_name):
+        sites = make_sites(["sgt"])
+        gtm = GTMSystem(sites, make_scheme(scheme_name))
+        gtm.submit_global(GlobalProgram.build("G1", [("s0", "w", "x")]))
+        gtm.submit_global(GlobalProgram.build("G2", [("s0", "r", "x")]))
+        gtm.run()
+        assert sites["s0"].storage.committed_value("__ticket__") == 2
+
+    def test_duplicate_submission_rejected(self, scheme_name):
+        sites = make_sites(["to"])
+        gtm = GTMSystem(sites, make_scheme(scheme_name))
+        program = GlobalProgram.build("G1", [("s0", "r", "x")])
+        gtm.submit_global(program)
+        with pytest.raises(ProtocolViolation):
+            gtm.submit_global(program)
+
+    def test_local_abort_triggers_global_restart(self, scheme_name):
+        # TO site: G1 begins first (older timestamp), G2 writes x, then
+        # G1 reads x -> too late -> abort -> restart succeeds
+        sites = make_sites(["to"])
+        gtm = GTMSystem(sites, make_scheme(scheme_name))
+        gtm.submit_global(
+            GlobalProgram.build("G1", [("s0", "r", "x"), ("s0", "r", "x")])
+        )
+        gtm.submit_global(GlobalProgram.build("G2", [("s0", "w", "x")]))
+        gtm.run()
+        assert sorted(gtm.committed) == ["G1", "G2"]
+        gtm.verify_serializable()
+
+    def test_conservative_sites_never_abort_locals(self, scheme_name):
+        sites = make_sites(["conservative-2pl", "conservative-to"])
+        gtm = GTMSystem(sites, make_scheme(scheme_name))
+        for index in range(5):
+            gtm.submit_global(
+                GlobalProgram.build(
+                    f"G{index}",
+                    [("s0", "w", "x"), ("s1", "w", "y")],
+                )
+            )
+        gtm.run()
+        assert len(gtm.committed) == 5
+        gtm.verify_serializable()
+
+
+class TestVerificationGroundTruth:
+    def test_witness_respects_ser_order(self):
+        sites = make_sites(["strict-2pl", "strict-2pl"])
+        gtm = GTMSystem(sites, make_scheme("scheme0"))
+        gtm.submit_global(
+            GlobalProgram.build("G1", [("s0", "w", "x"), ("s1", "w", "y")])
+        )
+        gtm.submit_global(
+            GlobalProgram.build("G2", [("s0", "r", "x"), ("s1", "r", "y")])
+        )
+        gtm.run()
+        witness = gtm.verify_serializable()
+        assert witness.index("G1") < witness.index("G2")
+
+    def test_histories_record_all_sites(self):
+        sites = make_sites(["to", "to"])
+        gtm = GTMSystem(sites, make_scheme("scheme3"))
+        gtm.submit_global(
+            GlobalProgram.build("G1", [("s0", "w", "x"), ("s1", "w", "y")])
+        )
+        gtm.run()
+        for db in sites.values():
+            assert len(db.history.schedule) > 0

@@ -1,0 +1,180 @@
+"""Tests for the LocalDBMS facade: submission, blocking, callbacks,
+aborts, and history logging."""
+
+import pytest
+
+from repro.exceptions import ProtocolViolation
+from repro.lmdbs.database import LocalDBMS, SubmitStatus
+from repro.lmdbs.protocols.optimistic import OptimisticConcurrencyControl
+from repro.lmdbs.protocols.timestamp_ordering import BasicTimestampOrdering
+from repro.lmdbs.protocols.two_phase_locking import StrictTwoPhaseLocking
+from repro.schedules.csr import is_conflict_serializable
+from repro.schedules.model import OpType, begin, commit, read, write
+
+
+def make_db(protocol=None, initial=None):
+    return LocalDBMS("s1", protocol or StrictTwoPhaseLocking(), initial)
+
+
+class TestBasicFlow:
+    def test_read_returns_value(self):
+        db = make_db(initial={"x": 10})
+        db.submit(begin("T1", "s1"))
+        result = db.submit(read("T1", "x", "s1"))
+        assert result.status is SubmitStatus.EXECUTED
+        assert result.value == 10
+
+    def test_program_order_enforced(self):
+        db = make_db()
+        db.submit(begin("T1", "s1"))
+        db.submit(begin("T2", "s1"))
+        db.submit(write("T1", "x", "s1"))
+        db.submit(read("T2", "x", "s1"))  # blocked
+        with pytest.raises(ProtocolViolation):
+            db.submit(read("T2", "y", "s1"))
+
+    def test_wrong_site_rejected(self):
+        db = make_db()
+        with pytest.raises(ProtocolViolation):
+            db.submit(begin("T1", "s2"))
+
+    def test_operation_before_begin_rejected(self):
+        db = make_db()
+        with pytest.raises(ProtocolViolation):
+            db.submit(read("T1", "x", "s1"))
+
+    def test_double_begin_rejected(self):
+        db = make_db()
+        db.submit(begin("T1", "s1"))
+        with pytest.raises(ProtocolViolation):
+            db.submit(begin("T1", "s1"))
+
+
+class TestBlockingAndCallbacks:
+    def test_blocked_then_unblocked_via_callback(self):
+        db = make_db()
+        events = []
+        db.submit(begin("T1", "s1"))
+        db.submit(begin("T2", "s1"))
+        db.submit(write("T1", "x", "s1"))
+        result = db.submit(
+            read("T2", "x", "s1"),
+            callback=lambda op, value, aborted: events.append(
+                (op.transaction_id, aborted)
+            ),
+        )
+        assert result.status is SubmitStatus.BLOCKED
+        assert db.is_blocked("T2")
+        commit_result = db.submit(commit("T1", "s1"))
+        assert "T2" in commit_result.unblocked
+        assert events == [("T2", False)]
+        assert not db.is_blocked("T2")
+
+    def test_callback_fires_for_immediate_execution(self):
+        db = make_db(initial={"x": 5})
+        values = []
+        db.submit(begin("T1", "s1"))
+        db.submit(
+            read("T1", "x", "s1"),
+            callback=lambda op, value, aborted: values.append(value),
+        )
+        assert values == [5]
+
+    def test_blocked_count_tracked(self):
+        db = make_db()
+        db.submit(begin("T1", "s1"))
+        db.submit(begin("T2", "s1"))
+        db.submit(write("T1", "x", "s1"))
+        db.submit(write("T2", "x", "s1"))
+        assert db.blocked_count == 1
+
+
+class TestAborts:
+    def test_to_rejection_aborts_submitter(self):
+        db = make_db(BasicTimestampOrdering())
+        db.submit(begin("T1", "s1"))
+        db.submit(begin("T2", "s1"))
+        db.submit(write("T2", "x", "s1"))
+        result = db.submit(read("T1", "x", "s1"))
+        assert result.status is SubmitStatus.ABORTED
+        assert "T1" in result.aborted
+        assert not db.is_active("T1")
+
+    def test_deadlock_victim_callback_notified(self):
+        db = make_db()
+        events = []
+
+        def callback(op, value, aborted):
+            events.append((op.transaction_id, aborted))
+
+        db.submit(begin("T1", "s1"))
+        db.submit(begin("T2", "s1"))
+        db.submit(read("T1", "x", "s1"))
+        db.submit(read("T2", "y", "s1"))
+        db.submit(write("T1", "y", "s1"), callback=callback)  # blocks
+        result = db.submit(write("T2", "x", "s1"), callback=callback)
+        assert result.status is SubmitStatus.ABORTED
+        # T2 died (youngest); T1's blocked write was then granted
+        assert ("T2", True) in events
+        assert ("T1", False) in events
+
+    def test_external_abort_wakes_waiters(self):
+        db = make_db()
+        db.submit(begin("T1", "s1"))
+        db.submit(begin("T2", "s1"))
+        db.submit(write("T1", "x", "s1"))
+        woken = []
+        db.submit(
+            read("T2", "x", "s1"),
+            callback=lambda op, v, aborted: woken.append(aborted),
+        )
+        db.abort_transaction("T1", "test")
+        assert woken == [False]
+
+    def test_abort_listener_invoked(self):
+        db = make_db()
+        seen = []
+        db.abort_listeners.append(lambda txn, reason: seen.append(txn))
+        db.submit(begin("T1", "s1"))
+        db.abort_transaction("T1")
+        assert seen == ["T1"]
+
+    def test_abort_recorded_in_history(self):
+        db = make_db()
+        db.submit(begin("T1", "s1"))
+        db.abort_transaction("T1")
+        kinds = [op.op_type for op in db.history.schedule]
+        assert OpType.ABORT in kinds
+
+
+class TestHistory:
+    def test_history_is_execution_order(self):
+        db = make_db()
+        db.submit(begin("T1", "s1"))
+        db.submit(begin("T2", "s1"))
+        db.submit(read("T1", "x", "s1"))
+        db.submit(write("T2", "x", "s1"))  # blocks
+        db.submit(commit("T1", "s1"))
+        db.submit(commit("T2", "s1"))
+        committed = db.history.committed_schedule()
+        assert is_conflict_serializable(committed)
+        reprs = [repr(op) for op in db.history.schedule]
+        # T2's write appears after T1's commit (when it actually ran)
+        assert reprs.index("c_T1@s1") < reprs.index("w_T2[x]@s1")
+
+    def test_occ_defers_write_logging(self):
+        db = make_db(OptimisticConcurrencyControl())
+        db.submit(begin("T1", "s1"))
+        db.submit(write("T1", "x", "s1"))
+        # not yet in the history: installed at commit
+        assert all(not op.is_write for op in db.history.schedule)
+        db.submit(commit("T1", "s1"))
+        assert any(op.is_write for op in db.history.schedule)
+
+    def test_value_plumbing(self):
+        db = make_db()
+        db.submit(begin("T1", "s1"))
+        db.submit(write("T1", "x", "s1"))
+        db.write_value("T1", "x", 99)
+        db.submit(commit("T1", "s1"))
+        assert db.storage.committed_value("x") == 99

@@ -1,0 +1,123 @@
+"""Tests for the S/X lock manager."""
+
+import pytest
+
+from repro.exceptions import ProtocolViolation
+from repro.lmdbs.lock_manager import LockManager, LockMode
+
+
+class TestGrantRules:
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        assert locks.request("T1", "x", LockMode.SHARED)
+        assert locks.request("T2", "x", LockMode.SHARED)
+
+    def test_exclusive_blocks_shared(self):
+        locks = LockManager()
+        assert locks.request("T1", "x", LockMode.EXCLUSIVE)
+        assert not locks.request("T2", "x", LockMode.SHARED)
+        assert locks.waiters("x") == ("T2",)
+
+    def test_shared_blocks_exclusive(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.SHARED)
+        assert not locks.request("T2", "x", LockMode.EXCLUSIVE)
+
+    def test_reentrant_request(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.EXCLUSIVE)
+        assert locks.request("T1", "x", LockMode.SHARED)
+        assert locks.request("T1", "x", LockMode.EXCLUSIVE)
+
+    def test_fifo_no_overtaking(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.EXCLUSIVE)
+        locks.request("T2", "x", LockMode.EXCLUSIVE)
+        # T3's shared request must queue behind T2 even though it is
+        # compatible with nothing currently held after T1 releases
+        assert not locks.request("T3", "x", LockMode.SHARED)
+        granted = locks.release("T1", "x")
+        assert granted[0][0] == "T2"
+
+
+class TestUpgrades:
+    def test_sole_holder_upgrade(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.SHARED)
+        assert locks.request("T1", "x", LockMode.EXCLUSIVE)
+        assert locks.holds("T1", "x", LockMode.EXCLUSIVE)
+
+    def test_contended_upgrade_waits_at_front(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.SHARED)
+        locks.request("T2", "x", LockMode.SHARED)
+        assert not locks.request("T1", "x", LockMode.EXCLUSIVE)
+        granted = locks.release("T2", "x")
+        assert ("T1", LockMode.EXCLUSIVE) in granted
+
+
+class TestRelease:
+    def test_release_unheld_rejected(self):
+        locks = LockManager()
+        with pytest.raises(ProtocolViolation):
+            locks.release("T1", "x")
+
+    def test_release_grants_waiters(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.EXCLUSIVE)
+        locks.request("T2", "x", LockMode.SHARED)
+        locks.request("T3", "x", LockMode.SHARED)
+        granted = locks.release("T1", "x")
+        assert {txn for txn, _ in granted} == {"T2", "T3"}
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.EXCLUSIVE)
+        locks.request("T1", "y", LockMode.SHARED)
+        locks.request("T2", "x", LockMode.EXCLUSIVE)
+        granted = locks.release_all("T1")
+        assert ("x", "T2", LockMode.EXCLUSIVE) in granted
+        assert locks.locks_of("T1") == frozenset()
+
+    def test_release_all_removes_queued_requests(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.EXCLUSIVE)
+        locks.request("T2", "x", LockMode.EXCLUSIVE)
+        locks.release_all("T2")
+        assert locks.waiters("x") == ()
+
+
+class TestWaitsFor:
+    def test_waiter_edges(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.EXCLUSIVE)
+        locks.request("T2", "x", LockMode.SHARED)
+        assert ("T2", "T1") in locks.waits_for_edges()
+
+    def test_queue_order_edges(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.SHARED)
+        locks.request("T2", "x", LockMode.EXCLUSIVE)
+        locks.request("T3", "x", LockMode.EXCLUSIVE)
+        edges = locks.waits_for_edges()
+        assert ("T3", "T2") in edges
+        assert ("T2", "T1") in edges
+
+    def test_no_edges_without_contention(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.SHARED)
+        locks.request("T2", "x", LockMode.SHARED)
+        assert locks.waits_for_edges() == set()
+
+
+class TestTryRequest:
+    def test_try_never_queues(self):
+        locks = LockManager()
+        locks.request("T1", "x", LockMode.EXCLUSIVE)
+        assert not locks.try_request("T2", "x", LockMode.SHARED)
+        assert locks.waiters("x") == ()
+
+    def test_try_grants_when_free(self):
+        locks = LockManager()
+        assert locks.try_request("T1", "x", LockMode.EXCLUSIVE)
+        assert locks.holds("T1", "x")

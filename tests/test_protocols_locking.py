@@ -1,0 +1,139 @@
+"""Tests for the 2PL local schedulers (strict and conservative)."""
+
+import pytest
+
+from repro.exceptions import ProtocolViolation
+from repro.lmdbs.protocols.base import Verdict
+from repro.lmdbs.protocols.two_phase_locking import (
+    ConservativeTwoPhaseLocking,
+    StrictTwoPhaseLocking,
+)
+
+
+class TestStrict2PL:
+    def test_grant_read_then_write_conflict_blocks(self):
+        protocol = StrictTwoPhaseLocking()
+        protocol.on_begin("T1")
+        protocol.on_begin("T2")
+        assert protocol.on_read("T1", "x").verdict is Verdict.GRANT
+        assert protocol.on_write("T2", "x").verdict is Verdict.BLOCK
+
+    def test_commit_releases_and_wakes(self):
+        protocol = StrictTwoPhaseLocking()
+        protocol.on_begin("T1")
+        protocol.on_begin("T2")
+        protocol.on_read("T1", "x")
+        protocol.on_write("T2", "x")
+        decision = protocol.on_commit("T1")
+        assert decision.verdict is Verdict.GRANT
+        assert "T2" in decision.wake
+
+    def test_deadlock_kills_youngest(self):
+        protocol = StrictTwoPhaseLocking()
+        protocol.on_begin("T1")
+        protocol.on_begin("T2")
+        protocol.on_read("T1", "x")
+        protocol.on_read("T2", "y")
+        assert protocol.on_write("T1", "y").verdict is Verdict.BLOCK
+        decision = protocol.on_write("T2", "x")
+        assert decision.verdict is Verdict.ABORT
+        assert decision.victims == ("T2",)
+        assert protocol.deadlocks_found == 1
+
+    def test_begin_twice_rejected(self):
+        protocol = StrictTwoPhaseLocking()
+        protocol.on_begin("T1")
+        with pytest.raises(ProtocolViolation):
+            protocol.on_begin("T1")
+
+    def test_operation_without_begin_rejected(self):
+        protocol = StrictTwoPhaseLocking()
+        with pytest.raises(ProtocolViolation):
+            protocol.on_read("T1", "x")
+
+    def test_abort_releases_locks(self):
+        protocol = StrictTwoPhaseLocking()
+        protocol.on_begin("T1")
+        protocol.on_begin("T2")
+        protocol.on_write("T1", "x")
+        protocol.on_read("T2", "x")
+        wake = protocol.on_abort("T1")
+        assert "T2" in wake
+
+    def test_waits_for_edges_exposed(self):
+        protocol = StrictTwoPhaseLocking()
+        protocol.on_begin("T1")
+        protocol.on_begin("T2")
+        protocol.on_write("T1", "x")
+        protocol.on_read("T2", "x")
+        assert ("T2", "T1") in protocol.waits_for_edges()
+
+
+class TestConservative2PL:
+    def test_requires_declared_sets(self):
+        protocol = ConservativeTwoPhaseLocking()
+        with pytest.raises(ProtocolViolation):
+            protocol.on_begin("T1")
+
+    def test_atomic_acquisition(self):
+        protocol = ConservativeTwoPhaseLocking()
+        decision = protocol.on_begin(
+            "T1", read_set=frozenset({"x"}), write_set=frozenset({"y"})
+        )
+        assert decision.verdict is Verdict.GRANT
+        assert protocol.on_read("T1", "x").verdict is Verdict.GRANT
+        assert protocol.on_write("T1", "y").verdict is Verdict.GRANT
+
+    def test_conflicting_begin_blocks_whole_set(self):
+        protocol = ConservativeTwoPhaseLocking()
+        protocol.on_begin("T1", frozenset(), frozenset({"x"}))
+        decision = protocol.on_begin("T2", frozenset({"x"}), frozenset())
+        assert decision.verdict is Verdict.BLOCK
+
+    def test_commit_wakes_fifo(self):
+        protocol = ConservativeTwoPhaseLocking()
+        protocol.on_begin("T1", frozenset(), frozenset({"x"}))
+        protocol.on_begin("T2", frozenset({"x"}), frozenset())
+        decision = protocol.on_commit("T1")
+        assert decision.wake == ("T2",)
+
+    def test_fifo_prevents_overtaking(self):
+        protocol = ConservativeTwoPhaseLocking()
+        protocol.on_begin("T1", frozenset(), frozenset({"x"}))
+        protocol.on_begin("T2", frozenset({"x"}), frozenset())
+        # T3 touches only y but must still queue behind T2 (FIFO fairness)
+        decision = protocol.on_begin("T3", frozenset({"y"}), frozenset())
+        assert decision.verdict is Verdict.BLOCK
+        wake = protocol.on_commit("T1").wake
+        assert wake == ("T2", "T3")
+
+    def test_undeclared_access_rejected(self):
+        protocol = ConservativeTwoPhaseLocking()
+        protocol.on_begin("T1", frozenset({"x"}), frozenset())
+        with pytest.raises(ProtocolViolation):
+            protocol.on_write("T1", "x")  # declared read-only
+
+    def test_begin_retry_is_idempotent(self):
+        protocol = ConservativeTwoPhaseLocking()
+        protocol.on_begin("T1", frozenset(), frozenset({"x"}))
+        protocol.on_begin("T2", frozenset({"x"}), frozenset())
+        # a retry of the blocked begin must not raise
+        decision = protocol.on_begin("T2", frozenset({"x"}), frozenset())
+        assert decision.verdict is Verdict.BLOCK
+        protocol.on_commit("T1")
+        decision = protocol.on_begin("T2", frozenset({"x"}), frozenset())
+        assert decision.verdict is Verdict.GRANT
+
+    def test_never_deadlocks(self):
+        protocol = ConservativeTwoPhaseLocking()
+        protocol.on_begin("T1", frozenset({"x"}), frozenset({"y"}))
+        decision = protocol.on_begin("T2", frozenset({"y"}), frozenset({"x"}))
+        # would deadlock under incremental locking; here it just waits
+        assert decision.verdict is Verdict.BLOCK
+        assert protocol.on_commit("T1").wake == ("T2",)
+
+    def test_waits_for_edges(self):
+        protocol = ConservativeTwoPhaseLocking()
+        protocol.on_begin("T1", frozenset(), frozenset({"x"}))
+        protocol.on_begin("T2", frozenset({"x"}), frozenset())
+        assert ("T2", "T1") in protocol.waits_for_edges()

@@ -1,0 +1,180 @@
+"""Tests for GTM2 journaling and crash recovery (the paper's future-work
+fault tolerance, implemented in :mod:`repro.core.recovery`)."""
+
+import pytest
+
+from repro.core import Scheme0, Scheme1, Scheme2, Scheme3, make_scheme
+from repro.core.engine import Engine
+from repro.core.events import Ack, Fin, Init, Ser
+from repro.core.recovery import Journal, recover_engine, replay_scheme
+from repro.exceptions import SchedulerError
+from repro.schedules.global_schedule import SerOperation, SerSchedule
+
+ALL_SCHEMES = [Scheme0, Scheme1, Scheme2, Scheme3]
+
+
+def journaled_run(factory, records, crash_after=None):
+    """Run queue *records* through a journaled engine; optionally stop
+    feeding after ``crash_after`` records.  Returns (journal, engine,
+    submissions)."""
+    journal = Journal()
+    submissions = []
+
+    def on_submit(operation):
+        submissions.append(operation)
+        engine.enqueue(Ack(operation.transaction_id, site=operation.site))
+
+    acks_expected = {}
+
+    def on_ack(operation):
+        remaining = acks_expected[operation.transaction_id]
+        remaining.discard(operation.site)
+        if not remaining:
+            engine.enqueue(Fin(operation.transaction_id))
+
+    engine = Engine(
+        factory(), submit_handler=on_submit, ack_handler=on_ack,
+        journal=journal,
+    )
+    for index, record in enumerate(records):
+        if crash_after is not None and index >= crash_after:
+            break
+        if isinstance(record, Init):
+            acks_expected[record.transaction_id] = set(record.sites)
+        engine.enqueue(record)
+        engine.run()
+    return journal, engine, submissions, acks_expected
+
+
+WORKLOAD = [
+    Init("G1", sites=("s1", "s2")),
+    Init("G2", sites=("s1", "s2")),
+    Ser("G1", site="s1"),
+    Ser("G2", site="s2"),
+    Ser("G2", site="s1"),
+    Ser("G1", site="s2"),
+]
+
+
+class TestJournal:
+    def test_outstanding_tracks_unprocessed(self):
+        journal = Journal()
+        op = Init("G1", sites=("s1",))
+        journal.log_enqueued(op)
+        assert journal.outstanding() == (op,)
+        journal.log_processed(op)
+        assert journal.outstanding() == ()
+
+    def test_processed_but_never_enqueued_rejected(self):
+        journal = Journal()
+        journal.log_processed(Init("G1", sites=("s1",)))
+        with pytest.raises(SchedulerError):
+            journal.outstanding()
+
+    def test_truncate_copies(self):
+        journal = Journal()
+        for index in range(3):
+            journal.log_enqueued(Init(f"G{index}", sites=("s1",)))
+        cut = journal.truncate(2, 0)
+        assert len(cut) == 2
+        assert len(journal) == 3
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEMES)
+class TestReplayEquivalence:
+    def test_replayed_scheme_continues_identically(self, factory):
+        """Run the workload twice: straight through, and crash-recover
+        midway; the final ser(S) must be identical."""
+        # reference run
+        _, ref_engine, ref_submissions, _ = journaled_run(factory, WORKLOAD)
+        ref_engine.assert_drained()
+        reference = [
+            (op.transaction_id, op.site) for op in ref_submissions
+        ]
+
+        # crashed run: stop feeding after 4 records, then recover
+        journal, _, submissions, acks_expected = journaled_run(
+            factory, WORKLOAD, crash_after=4
+        )
+        recovered_submissions = list(submissions)
+
+        def on_submit(operation):
+            recovered_submissions.append(operation)
+            recovered.enqueue(
+                Ack(operation.transaction_id, site=operation.site)
+            )
+
+        def on_ack(operation):
+            remaining = acks_expected[operation.transaction_id]
+            remaining.discard(operation.site)
+            if not remaining:
+                recovered.enqueue(Fin(operation.transaction_id))
+
+        recovered = recover_engine(
+            factory(), journal, submit_handler=on_submit, ack_handler=on_ack
+        )
+        recovered.run()
+        # feed the rest of the workload
+        for record in WORKLOAD[4:]:
+            if isinstance(record, Init):
+                acks_expected[record.transaction_id] = set(record.sites)
+            recovered.enqueue(record)
+            recovered.run()
+        recovered.assert_drained()
+        assert [
+            (op.transaction_id, op.site) for op in recovered_submissions
+        ] == reference
+
+    def test_recovered_ser_schedule_serializable(self, factory):
+        journal, _, submissions, acks_expected = journaled_run(
+            factory, WORKLOAD, crash_after=5
+        )
+        all_submissions = list(submissions)
+
+        def on_submit(operation):
+            all_submissions.append(operation)
+            recovered.enqueue(
+                Ack(operation.transaction_id, site=operation.site)
+            )
+
+        def on_ack(operation):
+            remaining = acks_expected[operation.transaction_id]
+            remaining.discard(operation.site)
+            if not remaining:
+                recovered.enqueue(Fin(operation.transaction_id))
+
+        recovered = recover_engine(
+            factory(), journal, submit_handler=on_submit, ack_handler=on_ack
+        )
+        recovered.run()
+        for record in WORKLOAD[5:]:
+            recovered.enqueue(record)
+            recovered.run()
+        recovered.assert_drained()
+        ser = SerSchedule(
+            SerOperation(op.transaction_id, op.site)
+            for op in all_submissions
+        )
+        assert ser.is_serializable()
+
+    def test_replay_suppresses_side_effects(self, factory):
+        journal, _, submissions, _ = journaled_run(
+            factory, WORKLOAD, crash_after=6
+        )
+        replayed = replay_scheme(factory(), journal)
+        # binding the replayed scheme produced no live submissions: the
+        # replay context swallowed them
+        context = replayed.context
+        assert len(context.replayed_submissions) == len(submissions)
+
+
+class TestRecoverIsRecoverable:
+    def test_recovered_engine_keeps_journaling(self):
+        journal, _, submissions, acks_expected = journaled_run(
+            Scheme0, WORKLOAD, crash_after=3
+        )
+        recovered = recover_engine(Scheme0(), journal)
+        assert recovered.journal is journal
+        before = len(journal.processed)
+        recovered.run()
+        assert len(journal.processed) >= before

@@ -1,0 +1,124 @@
+"""Property-based recovery tests: for random traces, random crash
+points, and every scheme, the crash-recovered run is indistinguishable
+from the uninterrupted one."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import Scheme0, Scheme1, Scheme2, Scheme3
+from repro.core.engine import Engine
+from repro.core.events import Ack, Fin, Init, Ser
+from repro.core.recovery import Journal, recover_engine
+
+
+@st.composite
+def workloads(draw):
+    site_names = ["s0", "s1", "s2"]
+    count = draw(st.integers(2, 6))
+    records = []
+    pending = []
+    for index in range(count):
+        sites = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(site_names),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        )
+        records.append(Init(f"G{index}", sites=sites))
+        pending.extend(Ser(f"G{index}", site=s) for s in sites)
+    order = draw(st.permutations(range(len(pending))))
+    records.extend(pending[i] for i in order)
+    crash_at = draw(st.integers(1, len(records)))
+    scheme_index = draw(st.integers(0, 3))
+    return records, crash_at, scheme_index
+
+SCHEME_FACTORIES = [Scheme0, Scheme1, Scheme2, Scheme3]
+
+
+def run(factory, records, crash_at=None, journal=None):
+    """Feed records (with synchronous acks and GTM1 fins); optionally
+    crash; returns (submissions, journal, acks_expected)."""
+    submissions = []
+    acks_expected = {}
+    engine_ref = [None]
+
+    def on_submit(operation):
+        submissions.append((operation.transaction_id, operation.site))
+        engine_ref[0].enqueue(
+            Ack(operation.transaction_id, site=operation.site)
+        )
+
+    def on_ack(operation):
+        remaining = acks_expected[operation.transaction_id]
+        remaining.discard(operation.site)
+        if not remaining:
+            engine_ref[0].enqueue(Fin(operation.transaction_id))
+
+    engine_ref[0] = Engine(
+        factory(),
+        submit_handler=on_submit,
+        ack_handler=on_ack,
+        journal=journal,
+    )
+    for index, record in enumerate(records):
+        if crash_at is not None and index >= crash_at:
+            break
+        if isinstance(record, Init):
+            acks_expected[record.transaction_id] = set(record.sites)
+        engine_ref[0].enqueue(record)
+        engine_ref[0].run()
+    return submissions, engine_ref[0], acks_expected
+
+
+class TestRecoveryProperty:
+    @given(workloads())
+    @settings(max_examples=50, deadline=None)
+    def test_crash_recover_equals_reference(self, workload):
+        records, crash_at, scheme_index = workload
+        factory = SCHEME_FACTORIES[scheme_index]
+
+        # reference
+        reference, ref_engine, _ = run(factory, records)
+        ref_engine.assert_drained()
+
+        # crashed
+        journal = Journal()
+        submissions, _, acks_expected = run(
+            factory, records, crash_at=crash_at, journal=journal
+        )
+
+        # recovery
+        engine_ref = [None]
+
+        def on_submit(operation):
+            submissions.append(
+                (operation.transaction_id, operation.site)
+            )
+            engine_ref[0].enqueue(
+                Ack(operation.transaction_id, site=operation.site)
+            )
+
+        def on_ack(operation):
+            remaining = acks_expected[operation.transaction_id]
+            remaining.discard(operation.site)
+            if not remaining:
+                engine_ref[0].enqueue(Fin(operation.transaction_id))
+
+        engine_ref[0] = recover_engine(
+            factory(),
+            journal,
+            submit_handler=on_submit,
+            ack_handler=on_ack,
+        )
+        engine_ref[0].run()
+        for record in records[crash_at:]:
+            if isinstance(record, Init):
+                acks_expected[record.transaction_id] = set(record.sites)
+            engine_ref[0].enqueue(record)
+            engine_ref[0].run()
+        engine_ref[0].assert_drained()
+        assert submissions == reference

@@ -1,0 +1,40 @@
+"""Tests for Scheme 2-minimal (the intractable §6 ideal)."""
+
+import pytest
+
+from repro.core import Scheme2, Scheme2Minimal
+from repro.exceptions import SchedulerError
+from repro.workloads.traces import drive, random_trace
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_ser_schedule_serializable(self, seed):
+        trace = random_trace(15, 3, 2, seed=seed)
+        result = drive(Scheme2Minimal(), trace)
+        assert result.ser_schedule.is_serializable()
+        assert result.metrics.transactions_finished == 15
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_never_waits_more_than_heuristic(self, seed):
+        """Minimal Δ ⊆ any sufficient Δ restriction-wise: the exact
+        variant never delays more ser-operations than the heuristic on
+        the same trace (when the exact search actually ran)."""
+        trace = random_trace(12, 3, 2, seed=seed)
+        exact_scheme = Scheme2Minimal(max_candidates=20)
+        exact = drive(exact_scheme, trace)
+        heuristic = drive(Scheme2(), trace)
+        if exact_scheme.fallback_runs == 0:
+            assert exact.ser_waits <= heuristic.ser_waits
+
+    def test_fallback_guard(self):
+        scheme = Scheme2Minimal(max_candidates=0)
+        drive(scheme, random_trace(8, 3, 2, seed=1))
+        assert scheme.fallback_runs > 0
+        # only the first init (zero candidates) can take the exact path
+        assert scheme.exact_runs <= 1
+
+    def test_exact_runs_counted(self):
+        scheme = Scheme2Minimal(max_candidates=30)
+        drive(scheme, random_trace(8, 3, 2, seed=1))
+        assert scheme.exact_runs > 0

@@ -1,0 +1,294 @@
+"""Behavioural tests of Schemes 0–3 at the cond/act level, driven by the
+engine with scripted queue orders."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.events import Ack, Fin, Init, Ser
+from repro.core.scheme0 import Scheme0
+from repro.core.scheme1 import Scheme1
+from repro.core.scheme2 import Scheme2
+from repro.core.scheme3 import Scheme3
+
+ALL_SCHEMES = [Scheme0, Scheme1, Scheme2, Scheme3]
+
+
+class Harness:
+    """Engine wrapper with manual ack control."""
+
+    def __init__(self, scheme):
+        self.scheme = scheme
+        self.submitted = []
+        self.forwarded = []
+        self.engine = Engine(
+            scheme,
+            submit_handler=self.submitted.append,
+            ack_handler=self.forwarded.append,
+        )
+
+    def push(self, *operations):
+        for operation in operations:
+            self.engine.enqueue(operation)
+        self.engine.run()
+
+    def ack(self, txn, site):
+        self.push(Ack(txn, site=site))
+
+    @property
+    def submitted_keys(self):
+        return [(op.transaction_id, op.site) for op in self.submitted]
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEMES)
+class TestCommonBehaviour:
+    def test_single_transaction_flows(self, factory):
+        h = Harness(factory())
+        h.push(Init("G1", sites=("s1", "s2")))
+        h.push(Ser("G1", site="s1"))
+        assert ("G1", "s1") in h.submitted_keys
+        h.ack("G1", "s1")
+        h.push(Ser("G1", site="s2"))
+        h.ack("G1", "s2")
+        h.push(Fin("G1"))
+        h.engine.assert_drained()
+        assert len(h.forwarded) == 2
+
+    def test_one_outstanding_per_site(self, factory):
+        h = Harness(factory())
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        h.push(Ser("G1", site="s1"))
+        h.push(Ser("G2", site="s1"))
+        # G1 unacked: G2's ser must not have been submitted yet
+        assert h.submitted_keys == [("G1", "s1")]
+        h.ack("G1", "s1")
+        assert ("G2", "s1") in h.submitted_keys
+
+    def test_disjoint_sites_concurrent(self, factory):
+        h = Harness(factory())
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s2",)))
+        h.push(Ser("G1", site="s1"), Ser("G2", site="s2"))
+        assert set(h.submitted_keys) == {("G1", "s1"), ("G2", "s2")}
+
+    def test_ser_order_never_cyclic(self, factory):
+        """Adversarial order across two shared sites must not produce a
+        cyclic ser(S): the scheme must delay one of the requests."""
+        h = Harness(factory())
+        h.push(
+            Init("G1", sites=("s1", "s2")),
+            Init("G2", sites=("s1", "s2")),
+        )
+        h.push(Ser("G1", site="s1"))
+        # adversarial arrival: G2 wants s2 before G1 gets there
+        h.push(Ser("G2", site="s2"))
+        h.push(Ser("G2", site="s1"))
+        h.push(Ser("G1", site="s2"))
+        # ack everything that gets submitted until quiescence, then fins
+        acked = set()
+        fins_sent = set()
+        for _ in range(10):
+            for ser in list(h.submitted):
+                key = (ser.transaction_id, ser.site)
+                if key not in acked:
+                    acked.add(key)
+                    h.ack(*key)
+            for txn in ("G1", "G2"):
+                done = {k for k in acked if k[0] == txn}
+                if len(done) == 2 and txn not in fins_sent:
+                    fins_sent.add(txn)
+                    h.push(Fin(txn))
+        order = {}
+        for txn, site in h.submitted_keys:
+            order.setdefault(site, []).append(txn)
+        # per-site orders must be consistent with a single global order
+        assert order["s1"] == order["s2"]
+        h.engine.assert_drained()
+
+
+class TestScheme0:
+    def test_serializes_in_init_order(self):
+        h = Harness(Scheme0())
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        # G2's request arrives first but G1 is ahead in the site queue
+        h.push(Ser("G2", site="s1"))
+        assert h.submitted_keys == []
+        h.push(Ser("G1", site="s1"))
+        assert h.submitted_keys == [("G1", "s1")]
+        h.ack("G1", "s1")
+        assert h.submitted_keys == [("G1", "s1"), ("G2", "s1")]
+
+    def test_fin_never_waits(self):
+        h = Harness(Scheme0())
+        h.push(Init("G1", sites=("s1",)))
+        h.push(Ser("G1", site="s1"))
+        h.ack("G1", "s1")
+        h.push(Fin("G1"))
+        assert h.scheme.metrics.waited.get("fin", 0) == 0
+
+
+class TestScheme1:
+    def test_tree_insertions_not_marked(self):
+        scheme = Scheme1()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1", "s2")), Init("G2", sites=("s2", "s3")))
+        assert scheme._marked == set()
+
+    def test_cycle_insertion_marks_operations(self):
+        scheme = Scheme1()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1", "s2")), Init("G2", sites=("s1", "s2")))
+        assert scheme._marked == {("G2", "s1"), ("G2", "s2")}
+
+    def test_marked_operation_waits_for_queue_front(self):
+        scheme = Scheme1()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1", "s2")), Init("G2", sites=("s1", "s2")))
+        h.push(Ser("G2", site="s1"))  # marked, G1 ahead in insert queue
+        assert h.submitted_keys == []
+        h.push(Ser("G1", site="s1"))
+        h.ack("G1", "s1")
+        # G1 acked and dequeued: G2 now first, its marked ser may run
+        assert h.submitted_keys == [("G1", "s1"), ("G2", "s1")]
+
+    def test_unmarked_operation_runs_out_of_init_order(self):
+        scheme = Scheme1()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        # no cycle: G2 unmarked, may overtake G1
+        h.push(Ser("G2", site="s1"))
+        assert h.submitted_keys == [("G2", "s1")]
+
+    def test_fin_waits_for_delete_queue_order(self):
+        scheme = Scheme1()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        h.push(Ser("G2", site="s1"))
+        h.ack("G2", "s1")
+        h.push(Ser("G1", site="s1"))
+        h.ack("G1", "s1")
+        # delete queue order: G2 then G1 — G1's fin must wait for G2's
+        h.push(Fin("G1"))
+        assert scheme.metrics.waited.get("fin", 0) == 1
+        h.push(Fin("G2"))
+        h.engine.assert_drained()
+
+
+class TestScheme2:
+    def test_dependencies_recorded_on_execution(self):
+        scheme = Scheme2()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        h.push(Ser("G1", site="s1"))
+        assert ("G1", "s1", "G2") in scheme.tsgd.dependencies
+
+    def test_dependent_ser_waits_for_ack(self):
+        scheme = Scheme2()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        h.push(Ser("G1", site="s1"))
+        h.push(Ser("G2", site="s1"))
+        assert h.submitted_keys == [("G1", "s1")]
+        h.ack("G1", "s1")
+        assert h.submitted_keys == [("G1", "s1"), ("G2", "s1")]
+
+    def test_init_adds_cycle_breaking_dependencies(self):
+        scheme = Scheme2()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1", "s2")))
+        h.push(Init("G2", sites=("s1", "s2")))
+        assert not scheme.tsgd.has_dangerous_cycle_through("G2")
+
+    def test_fin_waits_for_incoming_dependencies(self):
+        scheme = Scheme2()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        h.push(Ser("G1", site="s1"))
+        h.ack("G1", "s1")
+        h.push(Ser("G2", site="s1"))
+        h.ack("G2", "s1")
+        # G2 has an incoming dependency from G1 until G1 fins
+        h.push(Fin("G2"))
+        assert scheme.metrics.waited.get("fin", 0) == 1
+        h.push(Fin("G1"))
+        h.engine.assert_drained()
+
+    def test_verify_elimination_flag(self):
+        scheme = Scheme2(verify_elimination=True)
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1", "s2")), Init("G2", sites=("s1", "s2")))
+        # the exhaustive post-check passed: no dangerous cycle left
+        assert not scheme.tsgd.has_dangerous_cycle_through("G2")
+
+
+class TestScheme3:
+    def test_ser_bef_seeded_from_last(self):
+        scheme = Scheme3()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)))
+        h.push(Ser("G1", site="s1"))
+        h.ack("G1", "s1")
+        h.push(Init("G2", sites=("s1",)))
+        assert scheme.serialized_before("G2") == {"G1"}
+
+    def test_eager_update_of_waiters(self):
+        scheme = Scheme3()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        h.push(Ser("G1", site="s1"))
+        assert scheme.serialized_before("G2") == {"G1"}
+
+    def test_blocks_contradictory_order(self):
+        scheme = Scheme3()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1", "s2")), Init("G2", sites=("s1", "s2")))
+        h.push(Ser("G1", site="s1"))
+        h.ack("G1", "s1")
+        # G2 is now after G1; G2's ser at s2 would execute before G1's —
+        # fine (G1 not yet serialized at s2, but G1 ∈ ser_bef(G2) and G1
+        # is still in set_s2) → must wait
+        h.push(Ser("G2", site="s2"))
+        assert h.submitted_keys == [("G1", "s1")]
+        h.push(Ser("G1", site="s2"))
+        h.ack("G1", "s2")
+        assert ("G2", "s2") in h.submitted_keys
+
+    def test_allows_any_consistent_order(self):
+        scheme = Scheme3()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1", "s2")), Init("G2", sites=("s1", "s2")))
+        # G2 first everywhere — consistent, zero ser waits
+        h.push(Ser("G2", site="s1"))
+        h.ack("G2", "s1")
+        h.push(Ser("G2", site="s2"))
+        h.ack("G2", "s2")
+        h.push(Ser("G1", site="s1"))
+        h.ack("G1", "s1")
+        h.push(Ser("G1", site="s2"))
+        h.ack("G1", "s2")
+        assert scheme.metrics.waited.get("ser", 0) == 0
+
+    def test_transitive_closure_maintained(self):
+        scheme = Scheme3()
+        h = Harness(scheme)
+        h.push(
+            Init("G1", sites=("s1",)),
+            Init("G2", sites=("s1", "s2")),
+            Init("G3", sites=("s2",)),
+        )
+        h.push(Ser("G1", site="s1"))  # G1 < G2
+        h.ack("G1", "s1")
+        h.push(Ser("G2", site="s2"))  # G2 < G3
+        h.ack("G2", "s2")
+        assert "G1" in scheme.serialized_before("G3")
+
+    def test_fin_waits_until_ser_bef_empty(self):
+        scheme = Scheme3()
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        h.push(Ser("G1", site="s1"))
+        h.ack("G1", "s1")
+        h.push(Ser("G2", site="s1"))
+        h.ack("G2", "s1")
+        h.push(Fin("G2"))
+        assert scheme.metrics.waited.get("fin", 0) == 1
+        h.push(Fin("G1"))
+        h.engine.assert_drained()

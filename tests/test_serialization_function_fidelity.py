@@ -1,0 +1,162 @@
+"""Fidelity tests: the serialization-function strategy GTM1 uses for
+each local protocol really *is* a serialization function for histories
+that protocol produces (paper §2.2's defining property, checked on the
+committed ground-truth histories of randomized executions)."""
+
+import random
+
+import pytest
+
+from repro.core import GlobalProgram, GTMSystem, make_scheme
+from repro.lmdbs import LocalDBMS, SubmitStatus, make_protocol
+from repro.schedules.model import begin, commit, read, write
+from repro.schedules.serialization_functions import (
+    BeginSerializationFunction,
+    CommitSerializationFunction,
+    TicketSerializationFunction,
+)
+
+
+def run_random_local_workload(protocol_name, seed, clients=6, ops=3):
+    """Drive a single LocalDBMS with interleaved client transactions;
+    returns the committed history."""
+    rng = random.Random(seed)
+    db = LocalDBMS("s1", make_protocol(protocol_name))
+    items = ["x", "y", "z"]
+    programs = {}
+    for index in range(clients):
+        txn = f"T{index}"
+        accesses = [
+            (rng.choice("rw"), rng.choice(items)) for _ in range(ops)
+        ]
+        read_set = frozenset(i for k, i in accesses if k == "r")
+        write_set = frozenset(i for k, i in accesses if k == "w")
+        operations = [begin(txn, "s1")]
+        operations += [
+            (read if k == "r" else write)(txn, item, "s1")
+            for k, item in accesses
+        ]
+        operations.append(commit(txn, "s1"))
+        programs[txn] = {
+            "ops": operations,
+            "cursor": 0,
+            "read_set": read_set,
+            "write_set": write_set,
+            "alive": True,
+        }
+    # random interleaving with retry-free semantics: aborted clients stop
+    pending = set()
+    for _round in range(clients * (ops + 2) * 4):
+        candidates = [
+            txn
+            for txn, state in programs.items()
+            if state["alive"]
+            and state["cursor"] < len(state["ops"])
+            and txn not in pending
+        ]
+        if not candidates:
+            break
+        txn = rng.choice(candidates)
+        state = programs[txn]
+        operation = state["ops"][state["cursor"]]
+
+        def callback(op, value, aborted, txn=txn):
+            if aborted:
+                programs[txn]["alive"] = False
+            else:
+                programs[txn]["cursor"] += 1
+            pending.discard(txn)
+
+        result = db.submit(
+            operation,
+            callback=callback,
+            read_set=state["read_set"],
+            write_set=state["write_set"],
+        )
+        if result.status is SubmitStatus.BLOCKED:
+            pending.add(txn)
+    return db.history.committed_schedule()
+
+
+@pytest.mark.parametrize("seed", range(10))
+class TestNativeStrategies:
+    def test_commit_image_valid_for_strict_2pl(self, seed):
+        history = run_random_local_workload("strict-2pl", seed)
+        if history.transaction_ids:
+            assert CommitSerializationFunction().is_valid_for(history)
+
+    def test_begin_image_valid_for_to(self, seed):
+        history = run_random_local_workload("to", seed)
+        if history.transaction_ids:
+            assert BeginSerializationFunction().is_valid_for(history)
+
+    def test_begin_image_valid_for_conservative_2pl(self, seed):
+        history = run_random_local_workload("conservative-2pl", seed)
+        if history.transaction_ids:
+            assert BeginSerializationFunction().is_valid_for(history)
+
+    def test_begin_image_valid_for_conservative_to(self, seed):
+        history = run_random_local_workload("conservative-to", seed)
+        if history.transaction_ids:
+            assert BeginSerializationFunction().is_valid_for(history)
+
+
+@pytest.mark.parametrize("protocol", ["sgt", "occ"])
+@pytest.mark.parametrize("seed", range(6))
+class TestTicketStrategy:
+    def test_ticket_image_valid_on_gtm_histories(self, protocol, seed):
+        """At SGT/OCC sites the GTM forces tickets; the ticket-write
+        image must order consistently with the local serialization of
+        the global subtransactions."""
+        rng = random.Random(seed)
+        sites = {"s0": LocalDBMS("s0", make_protocol(protocol))}
+        gtm = GTMSystem(sites, make_scheme("scheme2"))
+        for index in range(5):
+            accesses = [
+                ("s0", rng.choice("rw"), rng.choice("abc"))
+                for _ in range(2)
+            ]
+            gtm.submit_global(GlobalProgram.build(f"G{index}", accesses))
+        gtm.run()
+        history = sites["s0"].history.committed_schedule()
+        strategy = TicketSerializationFunction()
+        # restrict to the global subtransactions (they all took tickets)
+        global_ids = [
+            t for t in history.transaction_ids if t.startswith("G")
+        ]
+        projected = history.projection(global_ids)
+        if projected.transaction_ids:
+            assert strategy.is_valid_for(projected)
+
+
+class TestStrategyCounterexamples:
+    """Negative controls: the *wrong* strategy for a protocol fails on a
+    history that protocol can produce — the pairing matters."""
+
+    def test_begin_image_invalid_for_sgt_history(self):
+        # SGT admits r1(x) w2(x) c2 r1(y) then T1 serialized before T2
+        # although T2 began later?  Construct the reverse: T1 begins
+        # first but serializes AFTER T2.
+        db = LocalDBMS("s1", make_protocol("sgt"))
+        db.submit(begin("T1", "s1"))
+        db.submit(begin("T2", "s1"))
+        db.submit(write("T2", "x", "s1"))
+        db.submit(read("T1", "x", "s1"))  # T2 -> T1
+        db.submit(commit("T2", "s1"))
+        db.submit(commit("T1", "s1"))
+        history = db.history.committed_schedule()
+        # T2 serialized before T1, but T1's begin precedes T2's begin
+        assert not BeginSerializationFunction().is_valid_for(history)
+
+    def test_commit_image_invalid_for_sgt_history(self):
+        # SGT also breaks the commit-order image: T1 serialized before
+        # T2 yet commits after it.
+        db = LocalDBMS("s1", make_protocol("sgt"))
+        db.submit(begin("T1", "s1"))
+        db.submit(begin("T2", "s1"))
+        db.submit(read("T1", "x", "s1"))
+        db.submit(write("T2", "x", "s1"))  # T1 -> T2
+        db.submit(commit("T2", "s1"))
+        db.submit(commit("T1", "s1"))
+        history = db.history.committed_schedule()
+        assert not CommitSerializationFunction().is_valid_for(history)

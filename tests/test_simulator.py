@@ -1,0 +1,161 @@
+"""Tests for the discrete-event MDBS simulator."""
+
+import pytest
+
+from repro.core import GlobalProgram, make_scheme
+from repro.lmdbs import LocalDBMS, make_protocol
+from repro.mdbs import (
+    EventLoop,
+    Latencies,
+    MDBSSimulator,
+    SimulationConfig,
+    assert_verified,
+    verify,
+)
+from repro.mdbs.events import SimulationError
+from repro.workloads import WorkloadConfig, WorkloadGenerator
+
+
+class TestEventLoop:
+    def test_time_ordering(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(5, lambda: seen.append("b"))
+        loop.schedule(1, lambda: seen.append("a"))
+        loop.run()
+        assert seen == ["a", "b"]
+        assert loop.now == 5
+
+    def test_ties_break_by_insertion(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1, lambda: seen.append("first"))
+        loop.schedule(1, lambda: seen.append("second"))
+        loop.run()
+        assert seen == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule(-1, lambda: None)
+
+    def test_until_bound(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1, lambda: seen.append(1))
+        loop.schedule(100, lambda: seen.append(100))
+        loop.run(until=10)
+        assert seen == [1]
+        assert loop.pending == 1
+
+    def test_events_scheduled_during_run(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.schedule(1, lambda: seen.append("second"))
+
+        loop.schedule(1, first)
+        loop.run()
+        assert seen == ["first", "second"]
+
+    def test_event_budget(self):
+        loop = EventLoop()
+
+        def rearm():
+            loop.schedule(1, rearm)
+
+        loop.schedule(1, rearm)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+
+def build_simulator(scheme_name, seed=0, protocols=("strict-2pl", "to", "sgt")):
+    cfg = WorkloadConfig(
+        sites=len(protocols), items_per_site=8, dav=2.0, ops_per_site=2, seed=seed
+    )
+    gen = WorkloadGenerator(cfg)
+    sites = {
+        s: LocalDBMS(s, make_protocol(p))
+        for s, p in zip(cfg.site_names, protocols)
+    }
+    sim = MDBSSimulator(
+        sites, make_scheme(scheme_name), SimulationConfig(), seed=seed
+    )
+    return sim, gen
+
+
+@pytest.mark.parametrize(
+    "scheme_name", ["scheme0", "scheme1", "scheme2", "scheme3"]
+)
+class TestSimulation:
+    def test_globals_commit_and_verify(self, scheme_name):
+        sim, gen = build_simulator(scheme_name)
+        for index, program in enumerate(gen.global_batch(10)):
+            sim.submit_global(program, at=index * 4.0)
+        report = sim.run()
+        assert report.committed_global == 10
+        assert_verified(sim.global_schedule(), sim.ser_schedule)
+
+    def test_mixed_local_and_global_traffic(self, scheme_name):
+        sim, gen = build_simulator(scheme_name, seed=3)
+        for index, program in enumerate(gen.global_batch(8)):
+            sim.submit_global(program, at=index * 5.0)
+        for index, local in enumerate(gen.local_batch(15)):
+            sim.submit_local(local, at=index * 2.5)
+        report = sim.run()
+        assert report.committed_global == 8
+        assert report.committed_local + report.local_aborts >= 15
+        assert_verified(sim.global_schedule(), sim.ser_schedule)
+
+    def test_response_times_recorded(self, scheme_name):
+        sim, gen = build_simulator(scheme_name)
+        for program in gen.global_batch(5):
+            sim.submit_global(program)
+        report = sim.run()
+        assert len(report.response_times) == 5
+        assert report.mean_response_time > 0
+        assert report.throughput > 0
+
+
+class TestVerificationLayer:
+    def test_verify_reports_cycle(self):
+        from repro.schedules.global_schedule import GlobalSchedule
+        from repro.schedules.model import parse_schedule
+
+        gs = GlobalSchedule(
+            {
+                "s1": parse_schedule("rG1[a] wG2[a]", site="s1"),
+                "s2": parse_schedule("rG2[b] wG1[b]", site="s2"),
+            },
+            global_transaction_ids=["G1", "G2"],
+        )
+        report = verify(gs)
+        assert not report.globally_serializable
+        assert set(report.cycle) == {"G1", "G2"}
+        assert not report.ok
+
+    def test_verify_ok_with_witness(self):
+        from repro.schedules.global_schedule import GlobalSchedule
+        from repro.schedules.model import parse_schedule
+
+        gs = GlobalSchedule(
+            {"s1": parse_schedule("rG1[a] wG2[a]", site="s1")},
+            global_transaction_ids=["G1", "G2"],
+        )
+        report = verify(gs)
+        assert report.ok
+        assert report.witness.index("G1") < report.witness.index("G2")
+
+    def test_latency_model_delays_acks(self):
+        from repro.mdbs.server import Server
+        from repro.schedules.model import begin
+
+        db = LocalDBMS("s1", make_protocol("to"))
+        loop = EventLoop()
+        server = Server("T1", db, loop, Latencies(message_delay=2, service_time=3))
+        done = []
+        server.submit(begin("T1", "s1"), lambda op, v, a: done.append(loop.now))
+        loop.run()
+        # message (2) + service (3) + message (2)
+        assert done == [7.0]
