@@ -1,4 +1,4 @@
-"""GTM2 crash recovery — the paper's "future work", implemented.
+"""Fault-tolerant GTM — the paper's "future work", implemented.
 
 GTM2's state is a deterministic function of the operations it processed,
 so journaling the QUEUE insertions and the processing order makes the
@@ -6,100 +6,114 @@ scheduler recoverable: replay the processed prefix into a fresh scheme
 (side effects suppressed — the old submissions already reached the
 sites), re-enqueue the rest, resume.
 
-This example crashes GTM2 mid-workload and shows the recovered scheduler
-finishing with exactly the submissions a never-crashed run produces.
+Two demonstrations on the whole-system simulator (docs/fault_model.md):
+
+1. **Exact recovery** — a run whose only fault is a GTM2 crash produces
+   per-site histories identical to a fault-free run: the crash is
+   invisible in the ground truth.
+2. **Chaos** — a seeded storm (message loss, duplication, heavy-tail
+   delay, a GTM2 crash, a site crash) against the resilient GTM:
+   idempotent retried submissions, journal recovery, site restart.  The
+   run is verified from the local histories: globally serializable,
+   no lost or duplicated global commits, and it terminates.
 
 Run:  python examples/fault_tolerant_gtm.py
 """
 
-from repro.core import Journal, Scheme2, recover_engine
-from repro.core.engine import Engine
-from repro.core.events import Ack, Fin, Init, Ser
+from repro.core import make_scheme
+from repro.faults import FaultInjector, FaultPlan
+from repro.lmdbs import LocalDBMS, make_protocol
+from repro.mdbs import MDBSSimulator, SimulationConfig, verify
+from repro.workloads import WorkloadConfig, WorkloadGenerator
 
-WORKLOAD = [
-    Init("G1", sites=("s1", "s2")),
-    Init("G2", sites=("s1", "s2")),
-    Init("G3", sites=("s2", "s3")),
-    Ser("G1", site="s1"),
-    Ser("G2", site="s2"),
-    # -------- crash here --------
-    Ser("G2", site="s1"),
-    Ser("G1", site="s2"),
-    Ser("G3", site="s2"),
-    Ser("G3", site="s3"),
-]
-CRASH_AFTER = 5
+SEED = 11
+SCHEME = "scheme2"
+PROTOCOLS = ["strict-2pl", "to", "sgt"]
 
 
-def drive(engine, records, acks_expected, submissions):
-    """Feed records; synchronous servers ack immediately; GTM1 fins."""
-    for record in records:
-        if isinstance(record, Init):
-            acks_expected[record.transaction_id] = set(record.sites)
-        engine.enqueue(record)
-        engine.run()
-
-
-def wiring(engine_ref, acks_expected, submissions):
-    def on_submit(operation):
-        submissions.append((operation.transaction_id, operation.site))
-        engine_ref[0].enqueue(
-            Ack(operation.transaction_id, site=operation.site)
-        )
-
-    def on_ack(operation):
-        remaining = acks_expected[operation.transaction_id]
-        remaining.discard(operation.site)
-        if not remaining:
-            engine_ref[0].enqueue(Fin(operation.transaction_id))
-
-    return on_submit, on_ack
-
-
-def reference_run():
-    submissions, acks_expected = [], {}
-    ref = [None]
-    on_submit, on_ack = wiring(ref, acks_expected, submissions)
-    ref[0] = Engine(Scheme2(), submit_handler=on_submit, ack_handler=on_ack)
-    drive(ref[0], WORKLOAD, acks_expected, submissions)
-    ref[0].assert_drained()
-    return submissions
-
-
-def crash_and_recover_run():
-    journal = Journal()
-    submissions, acks_expected = [], {}
-    eng = [None]
-    on_submit, on_ack = wiring(eng, acks_expected, submissions)
-    eng[0] = Engine(
-        Scheme2(), submit_handler=on_submit, ack_handler=on_ack,
-        journal=journal,
+def build_simulator(plan):
+    """One simulator over three heterogeneous sites; same workload every
+    time (the workload RNG never sees the injector)."""
+    workload = WorkloadGenerator(WorkloadConfig(sites=3, seed=SEED))
+    sites = {
+        name: LocalDBMS(name, make_protocol(PROTOCOLS[index]))
+        for index, name in enumerate(workload.config.site_names)
+    }
+    simulator = MDBSSimulator(
+        sites,
+        make_scheme(SCHEME),
+        SimulationConfig(horizon=50_000.0),
+        seed=SEED,
+        injector=None if plan is None else FaultInjector(plan),
+        scheme_factory=lambda: make_scheme(SCHEME),
     )
-    drive(eng[0], WORKLOAD[:CRASH_AFTER], acks_expected, submissions)
-    print(f"  ... crash after {CRASH_AFTER} queue records "
-          f"({len(submissions)} ser-operations already at the sites)")
-    print(f"  journal: {len(journal.enqueued)} insertions, "
-          f"{len(journal.processed)} processed")
+    for index, program in enumerate(workload.global_batch(6)):
+        simulator.submit_global(program, at=index * 3.0)
+    for index, local in enumerate(workload.local_batch(8)):
+        simulator.submit_local(local, at=index * 1.5)
+    return simulator
 
-    # --- recovery: fresh scheme, replayed from the journal ---
-    eng[0] = recover_engine(
-        Scheme2(), journal, submit_handler=on_submit, ack_handler=on_ack
+
+def histories(simulator):
+    return {
+        site: tuple(repr(op) for op in db.history.schedule.operations)
+        for site, db in simulator.sites.items()
+    }
+
+
+def exact_recovery_demo():
+    print("1. GTM2 crash recovery")
+    baseline = build_simulator(None)
+    baseline.run()
+
+    crashed = build_simulator(FaultPlan(seed=SEED, gtm_crashes=(40.0,)))
+    report = crashed.run()
+    print(f"   crashed GTM2 at t=40, recovered from the journal "
+          f"({report.gtm_crashes} crash, "
+          f"{report.committed_global} globals committed)")
+
+    assert histories(crashed) == histories(baseline)
+    assert crashed.committed_global == baseline.committed_global
+    print("   per-site histories identical to the fault-free run "
+          "— recovery is exact.")
+
+
+def chaos_demo():
+    print("2. chaos: loss + duplication + delay + GTM crash + site crash")
+    plan = FaultPlan.random(
+        seed=SEED,
+        sites=["s0", "s1", "s2"],
+        loss_rate=0.15,
+        duplication_rate=0.05,
+        delay_rate=0.10,
+        gtm_crash_count=1,
+        site_crash_count=1,
     )
-    eng[0].run()
-    drive(eng[0], WORKLOAD[CRASH_AFTER:], acks_expected, submissions)
-    eng[0].assert_drained()
-    return submissions
+    simulator = build_simulator(plan)
+    report = simulator.run()
+    stats = report.fault_stats
+    print(f"   injected: {stats.messages_dropped} messages lost, "
+          f"{stats.messages_duplicated} duplicated, "
+          f"{stats.messages_delayed} delayed, "
+          f"{report.gtm_crashes} GTM crash, {report.site_crashes} site crash")
+    print(f"   survived: {stats.retries} retries, "
+          f"{stats.cached_acks_replayed} acks replayed from the "
+          f"idempotency cache, {stats.orphans_reaped} orphans reaped")
+    print(f"   outcome: {report.committed_global} committed, "
+          f"{report.failed_global} failed, {report.global_aborts} aborts")
+
+    verification = verify(simulator.global_schedule(), simulator.ser_schedule)
+    exactness = simulator.exactly_once_report()
+    assert verification.ok, verification.cycle
+    assert exactness.ok, (exactness.duplicated, exactness.lost)
+    assert simulator.loop.pending == 0
+    print("   verified from ground truth: globally serializable, "
+          "exactly-once commits, terminated.")
 
 
 def main() -> None:
-    print("reference (no crash):")
-    reference = reference_run()
-    print("  submissions:", reference)
-    print("crash + recovery:")
-    recovered = crash_and_recover_run()
-    print("  submissions:", recovered)
-    assert recovered == reference
-    print("identical submission order — recovery is exact.")
+    exact_recovery_demo()
+    chaos_demo()
 
 
 if __name__ == "__main__":

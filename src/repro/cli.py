@@ -15,6 +15,12 @@ Commands
     Replay one trace through one scheme verbosely: every submission in
     order, plus the resulting ``ser(S)`` and its witness serial order.
 
+``chaos``
+    Run seeded fault storms (message loss/duplication/delay, GTM2 and
+    site crashes) across schemes and verify serializability, no
+    lost/duplicated commits, and termination from the ground-truth
+    histories.
+
 Examples
 --------
 ::
@@ -22,6 +28,7 @@ Examples
     python -m repro simulate --scheme scheme3 --sites 4 --globals 20
     python -m repro compare --schemes scheme0 scheme3 otm --txns 30
     python -m repro trace --scheme scheme2 --txns 8 --seed 7
+    python -m repro chaos --runs 50 --loss-rate 0.2
 """
 
 from __future__ import annotations
@@ -153,6 +160,90 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import FaultConfigError, MessageFaultConfig
+    from repro.faults.chaos import ChaosOptions, run_chaos
+
+    for name in args.schemes:
+        _make_scheduler(name)  # validate early
+    try:
+        MessageFaultConfig(
+            loss_rate=args.loss_rate,
+            duplication_rate=args.duplication_rate,
+            delay_rate=args.delay_rate,
+        ).validate()
+    except FaultConfigError as error:
+        raise SystemExit(f"invalid fault configuration: {error}")
+    rows = []
+    violations: List[str] = []
+    for name in args.schemes:
+        committed = failed = crashes_gtm = crashes_site = 0
+        retries = dropped = bad = 0
+        for index in range(args.runs):
+            seed = args.seed + index
+            options = ChaosOptions(
+                scheme=name,
+                sites=args.sites,
+                global_txns=args.globals,
+                local_txns=args.locals,
+                loss_rate=args.loss_rate,
+                duplication_rate=args.duplication_rate,
+                delay_rate=args.delay_rate,
+                gtm_crash_count=args.gtm_crashes,
+                site_crash_count=args.site_crashes,
+                downtime=args.downtime,
+            )
+            result = run_chaos(options, seed)
+            committed += result.report.committed_global
+            failed += result.report.failed_global
+            crashes_gtm += result.report.gtm_crashes
+            crashes_site += result.report.site_crashes
+            stats = result.report.fault_stats
+            retries += stats.retries
+            dropped += stats.messages_dropped
+            if not result.ok:
+                bad += 1
+                for reason in result.failure_reasons():
+                    violations.append(f"{name} seed={seed}: {reason}")
+        rows.append(
+            (
+                name,
+                f"{committed}/{args.runs * args.globals}",
+                failed,
+                crashes_gtm,
+                crashes_site,
+                dropped,
+                retries,
+                bad,
+            )
+        )
+    print(
+        render_table(
+            (
+                "scheme",
+                "committed",
+                "failed",
+                "gtm-crashes",
+                "site-crashes",
+                "msgs-lost",
+                "retries",
+                "violations",
+            ),
+            rows,
+            title=(
+                f"{args.runs} chaos runs/scheme, loss={args.loss_rate}, "
+                f"dup={args.duplication_rate}, delay={args.delay_rate}"
+            ),
+        )
+    )
+    if violations:
+        for line in violations:
+            print(f"!! {line}")
+        return 1
+    print("all runs serializable, exactly-once, terminated")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import ALL_EXPERIMENTS, render_report
 
@@ -221,6 +312,27 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--dav", type=int, default=2)
     trace_parser.add_argument("--seed", type=int, default=0)
     trace_parser.set_defaults(func=cmd_trace)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="seeded fault storms with ground-truth verification"
+    )
+    chaos_parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["scheme0", "scheme1", "scheme2", "scheme3"],
+    )
+    chaos_parser.add_argument("--runs", type=int, default=25)
+    chaos_parser.add_argument("--sites", type=int, default=3)
+    chaos_parser.add_argument("--globals", type=int, default=8)
+    chaos_parser.add_argument("--locals", type=int, default=10)
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument("--loss-rate", type=float, default=0.15)
+    chaos_parser.add_argument("--duplication-rate", type=float, default=0.05)
+    chaos_parser.add_argument("--delay-rate", type=float, default=0.10)
+    chaos_parser.add_argument("--gtm-crashes", type=int, default=1)
+    chaos_parser.add_argument("--site-crashes", type=int, default=1)
+    chaos_parser.add_argument("--downtime", type=float, default=25.0)
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     report_parser = sub.add_parser(
         "report", help="regenerate the analytical experiment report"

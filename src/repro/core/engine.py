@@ -121,7 +121,10 @@ class Engine(SchemeContext):
         """Drop all queued and waiting operations of a transaction (used
         when the GTM aborts a global transaction).  Forces a full WAIT
         rescan on the next run: removing a transaction can enable
-        arbitrary waiting operations."""
+        arbitrary waiting operations.  The purge is journaled so crash
+        recovery does not resurrect operations of dead incarnations."""
+        if self.journal is not None:
+            self.journal.log_purged(transaction_id)
         self._queue = deque(
             op for op in self._queue if op.transaction_id != transaction_id
         )

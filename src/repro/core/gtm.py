@@ -257,13 +257,17 @@ class GTMSystem:
         sites: Dict[str, LocalDBMS],
         scheme: ConservativeScheme,
         max_restarts: int = 10,
+        journal=None,
     ) -> None:
         self.sites = dict(sites)
         self.scheme = scheme
+        #: optional :class:`repro.core.recovery.Journal`; when attached,
+        #: GTM2 is recoverable via :meth:`crash_gtm2_and_recover`
         self.engine = Engine(
             scheme,
             submit_handler=self._execute_ser,
             ack_handler=self._on_gtm1_ack,
+            journal=journal,
         )
         self.max_restarts = max_restarts
         self._runtimes: Dict[str, _TxnRuntime] = {}
@@ -522,20 +526,45 @@ class GTMSystem:
     def _purge_gtm2(self, incarnation: str) -> None:
         """Remove an aborted transaction from GTM2's queue, wait set, and
         the scheme's data structures (the fault-handling hook the paper
-        defers to future work)."""
-        self.engine._queue = type(self.engine._queue)(
-            op
-            for op in self.engine._queue
-            if op.transaction_id != incarnation
-        )
-        self.engine._wait = [
-            op
-            for op in self.engine._wait
-            if op.transaction_id != incarnation
-        ]
+        defers to future work).  Goes through the engine so the purge is
+        journaled and the WAIT index stays consistent."""
+        self.engine.purge_transaction(incarnation)
         remover = getattr(self.scheme, "remove_transaction", None)
         if remover is not None:
             remover(incarnation)
+
+    # ------------------------------------------------------------------
+    # fault tolerance
+    # ------------------------------------------------------------------
+    def crash_gtm2_and_recover(
+        self,
+        scheme_factory: Optional[Callable[[], ConservativeScheme]] = None,
+    ) -> None:
+        """Simulate a GTM2 crash: discard the scheduler's in-memory state
+        and rebuild it from the journal (see :mod:`repro.core.recovery`).
+        GTM1's bookkeeping (plans, cursors, outstanding acks) survives —
+        only the GTM2 component crashes.  Requires a journal to have been
+        attached at construction."""
+        from repro.core.recovery import recover_engine
+
+        journal = self.engine.journal
+        if journal is None:
+            raise SchedulerError(
+                "cannot recover GTM2 without a journal; pass journal= to "
+                "GTMSystem()"
+            )
+        fresh = (
+            scheme_factory() if scheme_factory is not None
+            else type(self.scheme)()
+        )
+        self.engine = recover_engine(
+            fresh,
+            journal,
+            submit_handler=self._execute_ser,
+            ack_handler=self._on_gtm1_ack,
+            new_journal=journal,
+        )
+        self.scheme = fresh
 
     def _resolve_stall(self) -> bool:
         """Break a cross-site blocking cycle (e.g. GTM2 serialization

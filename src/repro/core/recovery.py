@@ -6,13 +6,20 @@ mechanism: GTM2's state is a deterministic function of the sequence of
 operations it *processed* (its ``act`` order), so journaling that
 sequence — plus the QUEUE insertions — makes the scheduler recoverable:
 
-1. every QUEUE insertion is logged (``log_enqueued``);
+1. every QUEUE insertion is logged (``log_enqueued``) and stamped with a
+   monotonically increasing sequence number, making the log duplicate
+   safe (two value-equal records are distinct entries) and letting
+   :meth:`Journal.outstanding` run in O(n);
 2. every processed operation is logged (``log_processed``), which the
    :class:`~repro.core.engine.Engine` does automatically when a journal
-   is attached;
-3. after a crash, :func:`recover_engine` rebuilds a fresh scheme by
+   is attached; value-equal records are matched FIFO, i.e. positionally;
+3. transaction purges (the GTM aborting a global transaction and
+   dropping its queued/waiting operations) are logged (``log_purged``)
+   so that recovery does not resurrect operations of dead incarnations;
+4. after a crash, :func:`recover_engine` rebuilds a fresh scheme by
    replaying the processed sequence with side effects suppressed (the
-   pre-crash submissions already reached the sites), re-enqueues the
+   pre-crash submissions already reached the sites), interleaving the
+   logged purges at their original positions, re-enqueues the
    logged-but-unprocessed operations, and returns a live engine that
    resumes exactly where the old one stopped.
 
@@ -23,8 +30,9 @@ order (each ``cond`` held when its ``act`` ran).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.engine import AckHandler, Engine, SubmitHandler
 from repro.core.events import Ack, QueueOp, Ser
@@ -34,35 +42,85 @@ from repro.exceptions import SchedulerError
 
 @dataclass
 class Journal:
-    """Append-only log of GTM2 activity (stable storage stand-in)."""
+    """Append-only log of GTM2 activity (stable storage stand-in).
+
+    ``enqueued[i]`` implicitly carries sequence number ``i`` (assigned at
+    :meth:`log_enqueued` time); ``processed`` is the act order; ``purges``
+    records ``(position_in_processed, transaction_id)`` markers.
+    """
 
     enqueued: List[QueueOp] = field(default_factory=list)
     processed: List[QueueOp] = field(default_factory=list)
+    #: ``(processed-position, transaction_id)`` purge markers: the purge
+    #: happened after ``processed[:position]`` had been acted on
+    purges: List[Tuple[int, str]] = field(default_factory=list)
 
-    def log_enqueued(self, operation: QueueOp) -> None:
+    def __post_init__(self) -> None:
+        # Rebuild the sequence-number index from the (possibly truncated)
+        # lists: value-equal records are matched FIFO by position, which
+        # is exact because the engine processes each enqueued record at
+        # most once and duplicates are themselves distinct enqueues.
+        self._unprocessed: Dict[QueueOp, Deque[int]] = {}
+        self._pending_seqs: Set[int] = set()
+        #: processed records never seen in ``enqueued`` — corruption,
+        #: reported lazily by :meth:`outstanding` (matches historical
+        #: behaviour of raising at recovery time, not at log time)
+        self._orphan_processed: List[QueueOp] = []
+        for seq, operation in enumerate(self.enqueued):
+            self._unprocessed.setdefault(operation, deque()).append(seq)
+            self._pending_seqs.add(seq)
+        for operation in self.processed:
+            self._consume(operation)
+
+    def _consume(self, operation: QueueOp) -> None:
+        bucket = self._unprocessed.get(operation)
+        if not bucket:
+            self._orphan_processed.append(operation)
+            return
+        self._pending_seqs.discard(bucket.popleft())
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+    def log_enqueued(self, operation: QueueOp) -> int:
+        """Record an insertion; returns its monotonic sequence number."""
+        seq = len(self.enqueued)
         self.enqueued.append(operation)
+        self._unprocessed.setdefault(operation, deque()).append(seq)
+        self._pending_seqs.add(seq)
+        return seq
 
     def log_processed(self, operation: QueueOp) -> None:
         self.processed.append(operation)
+        self._consume(operation)
+
+    def log_purged(self, transaction_id: str) -> None:
+        """Record that the GTM purged *transaction_id* (all of its
+        logged-but-unprocessed operations are dead)."""
+        self.purges.append((len(self.processed), transaction_id))
+
+    # ------------------------------------------------------------------
+    # recovery queries
+    # ------------------------------------------------------------------
+    @property
+    def purged_transactions(self) -> frozenset:
+        return frozenset(transaction_id for _, transaction_id in self.purges)
 
     def outstanding(self) -> Tuple[QueueOp, ...]:
-        """Logged-but-unprocessed operations, in insertion order.
-
-        Operations are matched by value; duplicates (which the GTM never
-        produces) would be matched positionally.
-        """
-        remaining = list(self.processed)
-        pending: List[QueueOp] = []
-        for operation in self.enqueued:
-            if operation in remaining:
-                remaining.remove(operation)
-            else:
-                pending.append(operation)
-        if remaining:
+        """Logged-but-unprocessed operations, in insertion order, with
+        operations of purged transactions excluded.  O(n) via the
+        sequence numbers assigned at :meth:`log_enqueued`."""
+        if self._orphan_processed:
             raise SchedulerError(
-                f"journal processed operations never enqueued: {remaining!r}"
+                f"journal processed operations never enqueued: "
+                f"{self._orphan_processed!r}"
             )
-        return tuple(pending)
+        dead = self.purged_transactions
+        return tuple(
+            operation
+            for seq, operation in enumerate(self.enqueued)
+            if seq in self._pending_seqs and operation.transaction_id not in dead
+        )
 
     def truncate(self, enqueued_upto: int, processed_upto: int) -> "Journal":
         """A copy as it would look after a crash that lost the tail
@@ -71,6 +129,11 @@ class Journal:
         return Journal(
             enqueued=list(self.enqueued[:enqueued_upto]),
             processed=list(self.processed[:processed_upto]),
+            purges=[
+                (position, transaction_id)
+                for position, transaction_id in self.purges
+                if position <= processed_upto
+            ],
         )
 
     def __len__(self) -> int:
@@ -96,11 +159,25 @@ def replay_scheme(
     scheme: ConservativeScheme, journal: Journal
 ) -> ConservativeScheme:
     """Rebuild *scheme*'s data structures by replaying the journal's
-    processed sequence (side effects suppressed)."""
+    processed sequence (side effects suppressed), applying the logged
+    purges at the positions where they originally happened."""
     context = _ReplayContext()
     scheme.bind(context)
-    for operation in journal.processed:
+    purge_at: Dict[int, List[str]] = {}
+    for position, transaction_id in journal.purges:
+        purge_at.setdefault(position, []).append(transaction_id)
+    remover = getattr(scheme, "remove_transaction", None)
+
+    def apply_purges(position: int) -> None:
+        if remover is None:
+            return
+        for transaction_id in purge_at.get(position, ()):
+            remover(transaction_id)
+
+    for index, operation in enumerate(journal.processed):
+        apply_purges(index)
         scheme.act(operation)
+    apply_purges(len(journal.processed))
     return scheme
 
 
@@ -113,7 +190,8 @@ def recover_engine(
 ) -> Engine:
     """Recover a live GTM2 from *journal*: replay the processed prefix
     into *scheme*, attach the (fresh) scheme to a new engine, and
-    re-enqueue everything logged but not yet processed.
+    re-enqueue everything logged but not yet processed (minus the
+    operations of purged transactions).
 
     The caller supplies a *fresh* scheme instance of the same class and
     configuration as the crashed one.  ``new_journal`` (defaults to a

@@ -1,0 +1,179 @@
+"""Chaos verification: seeded fault storms, checked from ground truth.
+
+One :func:`run_chaos` call builds a randomized MDBS workload, subjects it
+to a seeded :class:`~repro.faults.plan.FaultPlan` (message loss,
+duplication, heavy-tail delay, GTM2 crashes, site crashes), runs it to
+completion, and verifies from the local history logs that:
+
+- every local and global schedule stayed (globally) serializable;
+- no global commit was lost or duplicated
+  (:func:`repro.mdbs.verification.check_exactly_once`);
+- the run *terminated* — every admitted global transaction was resolved
+  (committed or reported failed) and the event loop drained.
+
+``python -m repro chaos`` drives many runs across Schemes 0–3; the test
+suite (``tests/test_fault_injection.py``) and CI run smaller sweeps.
+
+This module sits *above* :mod:`repro.mdbs` and is therefore not
+re-exported from :mod:`repro.faults` (which :mod:`repro.mdbs` imports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core import make_scheme
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.lmdbs.database import LocalDBMS
+from repro.lmdbs.protocols import make_protocol
+from repro.mdbs.simulator import (
+    MDBSSimulator,
+    SimulationConfig,
+    SimulationReport,
+)
+from repro.mdbs.verification import (
+    ExactlyOnceReport,
+    VerificationReport,
+    check_exactly_once,
+    verify,
+)
+from repro.workloads.generator import WorkloadConfig, WorkloadGenerator
+
+#: protocols cycled over the sites: a locking site, a timestamp site,
+#: and a ticket site — the three serialization-function strategies
+DEFAULT_PROTOCOLS: Tuple[str, ...] = ("strict-2pl", "to", "sgt")
+
+
+@dataclass
+class ChaosOptions:
+    """Shape of one chaos run (the seed picks the concrete storm)."""
+
+    scheme: str = "scheme2"
+    sites: int = 3
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS
+    global_txns: int = 8
+    local_txns: int = 10
+    spacing: float = 3.0
+    loss_rate: float = 0.15
+    duplication_rate: float = 0.05
+    delay_rate: float = 0.10
+    gtm_crash_count: int = 1
+    site_crash_count: int = 1
+    downtime: float = 25.0
+    crash_window: Tuple[float, float] = (20.0, 400.0)
+    horizon: float = 100_000.0
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos run produced, plus the verdicts."""
+
+    seed: int
+    options: ChaosOptions
+    report: SimulationReport
+    verification: VerificationReport
+    exactly_once: ExactlyOnceReport
+    #: the event loop drained and every global was resolved
+    terminated: bool
+    #: logical transactions neither committed nor reported failed
+    unresolved: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.verification.ok
+            and self.exactly_once.ok
+            and self.terminated
+        )
+
+    def failure_reasons(self) -> Tuple[str, ...]:
+        reasons = []
+        if not self.verification.ok:
+            reasons.append(
+                f"serializability violated (cycle {self.verification.cycle})"
+            )
+        if self.exactly_once.duplicated:
+            reasons.append(
+                f"duplicated commits: {self.exactly_once.duplicated}"
+            )
+        if self.exactly_once.lost:
+            reasons.append(f"lost commits: {self.exactly_once.lost}")
+        if not self.terminated:
+            reasons.append(f"did not terminate (unresolved {self.unresolved})")
+        return tuple(reasons)
+
+
+def build_chaos_simulator(
+    options: ChaosOptions, seed: int
+) -> Tuple[MDBSSimulator, FaultPlan]:
+    """Assemble the simulator for one seeded chaos run (exposed so tests
+    can poke at the pieces before running)."""
+    workload = WorkloadGenerator(
+        WorkloadConfig(sites=options.sites, seed=seed)
+    )
+    site_names = workload.config.site_names
+    protocols = list(options.protocols) * options.sites
+    sites = {
+        name: LocalDBMS(name, make_protocol(protocols[index]))
+        for index, name in enumerate(site_names)
+    }
+    plan = FaultPlan.random(
+        seed,
+        tuple(site_names),
+        window=options.crash_window,
+        loss_rate=options.loss_rate,
+        duplication_rate=options.duplication_rate,
+        delay_rate=options.delay_rate,
+        gtm_crash_count=options.gtm_crash_count,
+        site_crash_count=options.site_crash_count,
+        downtime=options.downtime,
+    )
+    simulator = MDBSSimulator(
+        sites,
+        make_scheme(options.scheme),
+        SimulationConfig(horizon=options.horizon),
+        seed=seed,
+        injector=FaultInjector(plan),
+        scheme_factory=lambda: make_scheme(options.scheme),
+    )
+    for index, program in enumerate(
+        workload.global_batch(options.global_txns)
+    ):
+        simulator.submit_global(program, at=index * options.spacing)
+    for index, local in enumerate(workload.local_batch(options.local_txns)):
+        simulator.submit_local(local, at=index * options.spacing / 2)
+    return simulator, plan
+
+
+def run_chaos(options: ChaosOptions, seed: int) -> ChaosResult:
+    """Run one seeded chaos storm and verify it from ground truth."""
+    simulator, _plan = build_chaos_simulator(options, seed)
+    report = simulator.run()
+    verification = verify(simulator.global_schedule(), simulator.ser_schedule)
+    exactly_once = simulator.exactly_once_report()
+    resolved = set(simulator.committed_global) | set(simulator.failed_global)
+    unresolved = tuple(
+        sorted(
+            logical
+            for logical in simulator._programs
+            if logical not in resolved
+        )
+    )
+    terminated = simulator.loop.pending == 0 and not unresolved
+    return ChaosResult(
+        seed=seed,
+        options=options,
+        report=report,
+        verification=verification,
+        exactly_once=exactly_once,
+        terminated=terminated,
+        unresolved=unresolved,
+    )
+
+
+def run_chaos_sweep(
+    options: ChaosOptions, seeds: Sequence[int]
+) -> Tuple[ChaosResult, ...]:
+    return tuple(run_chaos(options, seed) for seed in seeds)

@@ -1,0 +1,173 @@
+"""The fault injector: the single authority on what goes wrong, when.
+
+The :class:`~repro.mdbs.simulator.MDBSSimulator` consults the injector at
+every boundary crossing:
+
+- each message leg (GTM→server→site and back) asks :meth:`message_fate`
+  and gets back a tuple of extra delays — one per delivered copy, empty
+  when the message is lost;
+- each delivery goes through the site's :class:`SiteChannel`, which makes
+  submissions *idempotent*: every submission carries a unique sequence
+  number, duplicate deliveries of an in-flight submission are suppressed,
+  and re-deliveries of a completed submission replay the cached result
+  instead of re-executing (so a retry after a lost ack is safe);
+- site down-windows are tracked here so messages to a dark site vanish.
+
+All randomness comes from the injector's own :class:`random.Random`
+seeded from the plan — the simulator's workload RNG is never touched, so
+enabling fault injection does not perturb the workload itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.faults.model import FaultStats
+from repro.faults.plan import FaultPlan
+from repro.schedules.model import Operation, OpType
+
+#: Result handler of one delivery: ``on_result(value, aborted, replayed)``.
+#: ``replayed`` is True when the result comes from the idempotency cache
+#: (no service time is charged again).
+ResultHandler = Callable[[Any, bool, bool], None]
+
+
+class SiteChannel:
+    """Idempotent delivery ledger of one site (the server-side half of
+    the sequence-number protocol).  Survives site crashes — it models the
+    network/server stub, not the DBMS — so a commit that executed before
+    a crash still acknowledges positively afterwards."""
+
+    def __init__(self, site: str, stats: FaultStats) -> None:
+        self.site = site
+        self.stats = stats
+        #: submissions delivered and currently executing (or blocked)
+        self._inflight: Set[int] = set()
+        #: completed submissions: seq -> (value, aborted)
+        self._results: Dict[int, Tuple[Any, bool]] = {}
+
+    def deliver(
+        self,
+        seq: int,
+        operation: Operation,
+        db,
+        read_set: Optional[frozenset],
+        write_set: Optional[frozenset],
+        still_wanted: Optional[Callable[[], bool]],
+        on_result: ResultHandler,
+    ) -> None:
+        """Deliver one copy of submission *seq*; execute at most once."""
+        cached = self._results.get(seq)
+        if cached is not None:
+            # the earlier ack may have been lost in transit: replay it
+            self.stats.cached_acks_replayed += 1
+            value, aborted = cached
+            on_result(value, aborted, True)
+            return
+        if seq in self._inflight:
+            self.stats.duplicate_deliveries_suppressed += 1
+            return
+        if still_wanted is not None and not still_wanted():
+            return  # orphaned submission of a finished incarnation
+        transaction_id = operation.transaction_id
+        if operation.op_type is not OpType.BEGIN and not (
+            db.is_active(transaction_id) or db.is_blocked(transaction_id)
+        ):
+            # the site no longer knows this transaction (a crash wiped
+            # it, or the GTM already aborted it there): negative ack
+            self.stats.unknown_transaction_nacks += 1
+            self._results[seq] = (None, True)
+            on_result(None, True, False)
+            return
+        self._inflight.add(seq)
+
+        def callback(op: Operation, value: Any, aborted: bool) -> None:
+            self._results[seq] = (value, aborted)
+            self._inflight.discard(seq)
+            on_result(value, aborted, False)
+
+        db.submit(
+            operation,
+            callback=callback,
+            read_set=read_set,
+            write_set=write_set,
+        )
+
+
+class FaultInjector:
+    """Draws every fault decision of one run from a seeded plan."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        plan.validate()
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.stats = FaultStats()
+        self._sequence = itertools.count(1)
+        self._channels: Dict[str, SiteChannel] = {}
+        self._down_until: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # submission sequencing / idempotency
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        """A fresh submission sequence number (unique per run)."""
+        return next(self._sequence)
+
+    def channel(self, site: str) -> SiteChannel:
+        channel = self._channels.get(site)
+        if channel is None:
+            channel = self._channels[site] = SiteChannel(site, self.stats)
+        return channel
+
+    # ------------------------------------------------------------------
+    # message faults
+    # ------------------------------------------------------------------
+    def message_fate(self) -> Tuple[float, ...]:
+        """The fate of one message: a tuple of extra delays, one per
+        delivered copy; ``()`` means the message is lost."""
+        config = self.plan.messages
+        self.stats.messages_sent += 1
+        if not config.any_enabled:
+            return (0.0,)
+        if config.loss_rate and self.rng.random() < config.loss_rate:
+            self.stats.messages_dropped += 1
+            return ()
+        delays = [self._extra_delay()]
+        if (
+            config.duplication_rate
+            and self.rng.random() < config.duplication_rate
+        ):
+            self.stats.messages_duplicated += 1
+            delays.append(self._extra_delay())
+        return tuple(delays)
+
+    def _extra_delay(self) -> float:
+        config = self.plan.messages
+        if config.delay_rate and self.rng.random() < config.delay_rate:
+            self.stats.messages_delayed += 1
+            extra = config.delay_scale * (
+                self.rng.paretovariate(config.delay_shape) - 1.0
+            )
+            return min(extra, config.max_delay)
+        return 0.0
+
+    def jitter(self, base: float, fraction: float) -> float:
+        """Deterministic jitter draw: ``base * (1 + U[0, fraction])``."""
+        if fraction <= 0:
+            return base
+        return base * (1.0 + fraction * self.rng.random())
+
+    # ------------------------------------------------------------------
+    # site availability
+    # ------------------------------------------------------------------
+    def mark_down(self, site: str, until: float) -> None:
+        self._down_until[site] = max(self._down_until.get(site, 0.0), until)
+
+    def mark_up(self, site: str) -> None:
+        self._down_until.pop(site, None)
+
+    def site_down(self, site: str, now: float) -> bool:
+        until = self._down_until.get(site)
+        return until is not None and now < until

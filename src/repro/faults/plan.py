@@ -1,0 +1,99 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultPlan` fixes *everything* that will go wrong in a run: the
+GTM2 crash instants, the site crash windows, and the message-fault
+probabilities (whose individual coin flips come from the injector's own
+seeded RNG).  Two runs with the same workload seed and the same plan are
+bit-identical, which is what makes chaos findings replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.faults.model import FaultConfigError, MessageFaultConfig, SiteCrash
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One run's complete fault schedule."""
+
+    seed: int = 0
+    messages: MessageFaultConfig = field(default_factory=MessageFaultConfig)
+    #: simulation times at which GTM2 crashes (state wiped, journal kept)
+    gtm_crashes: Tuple[float, ...] = ()
+    site_crashes: Tuple[SiteCrash, ...] = ()
+
+    def validate(self) -> None:
+        self.messages.validate()
+        for at in self.gtm_crashes:
+            if at < 0:
+                raise FaultConfigError(f"negative GTM crash time {at}")
+        for crash in self.site_crashes:
+            crash.validate()
+
+    @property
+    def is_quiet(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            not self.messages.any_enabled
+            and not self.gtm_crashes
+            and not self.site_crashes
+        )
+
+    @classmethod
+    def quiet(cls, seed: int = 0) -> "FaultPlan":
+        """A plan that injects nothing (used to certify that the fault
+        machinery itself does not perturb outcomes)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        sites: Sequence[str],
+        window: Tuple[float, float] = (20.0, 400.0),
+        loss_rate: float = 0.15,
+        duplication_rate: float = 0.05,
+        delay_rate: float = 0.10,
+        gtm_crash_count: int = 1,
+        site_crash_count: int = 1,
+        downtime: float = 25.0,
+    ) -> "FaultPlan":
+        """Draw a randomized schedule: crash instants uniform in *window*,
+        crashing sites drawn uniformly from *sites*.  Fully determined by
+        *seed*."""
+        rng = random.Random(seed)
+        start, end = window
+        if end <= start:
+            raise FaultConfigError(f"empty fault window {window}")
+        gtm_crashes = tuple(
+            sorted(rng.uniform(start, end) for _ in range(gtm_crash_count))
+        )
+        site_crashes = tuple(
+            sorted(
+                (
+                    SiteCrash(
+                        site=rng.choice(list(sites)),
+                        at=rng.uniform(start, end),
+                        downtime=downtime,
+                    )
+                    for _ in range(site_crash_count)
+                ),
+                key=lambda crash: (crash.at, crash.site),
+            )
+        )
+        plan = cls(
+            seed=seed,
+            messages=MessageFaultConfig(
+                loss_rate=loss_rate,
+                duplication_rate=duplication_rate,
+                delay_rate=delay_rate,
+            ),
+            gtm_crashes=gtm_crashes,
+            site_crashes=site_crashes,
+        )
+        plan.validate()
+        return plan

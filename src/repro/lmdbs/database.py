@@ -76,6 +76,11 @@ class LocalDBMS:
         self.history = HistoryLog(site)
         self._pending: Dict[str, _Pending] = {}
         self._active: set = set()
+        #: False while the site is crashed (dark); submissions are
+        #: negatively acknowledged until :meth:`restart`
+        self.available = True
+        #: how many times this site has crashed (quarantine input)
+        self.crash_count = 0
         #: counts for metrics: how many submissions blocked / aborted
         self.blocked_count = 0
         self.aborted_count = 0
@@ -100,6 +105,13 @@ class LocalDBMS:
         ``read_set``/``write_set`` are the declared access sets, consumed
         by conservative protocols at BEGIN and ignored otherwise.
         """
+        if not self.available:
+            # the site is dark: negative acknowledgement, no state change
+            if callback is not None:
+                callback(operation, None, True)
+            return SubmitResult(
+                SubmitStatus.ABORTED, operation, reason="site unavailable"
+            )
         self._validate_submission(operation)
         transaction_id = operation.transaction_id
 
@@ -338,6 +350,51 @@ class LocalDBMS:
             queue.extend(decision.wake)
 
     # ------------------------------------------------------------------
+    # crash / restart (fault injection)
+    # ------------------------------------------------------------------
+    def crash(self, reason: str = "site crash") -> Tuple[str, ...]:
+        """Crash the site: every in-flight transaction (active or
+        blocked) is aborted — volatile state is lost — while committed
+        storage and the history log survive (they are the durable
+        ground truth).  The site answers nothing until :meth:`restart`.
+        """
+        self.crash_count += 1
+        self.available = False
+        in_flight = list(self._pending) + [
+            transaction_id
+            for transaction_id in sorted(self._active)
+            if transaction_id not in self._pending
+        ]
+        aborted: List[str] = []
+        for transaction_id in in_flight:
+            aborted.extend(self._perform_abort(transaction_id, reason))
+        return tuple(aborted)
+
+    def restart(self) -> None:
+        """Bring a crashed site back; committed state is intact."""
+        self.available = True
+
+    def accepts(self, operation: Operation) -> bool:
+        """Whether a server delivery of *operation* would be admissible
+        right now: the site is up and the operation respects the
+        transaction's lifecycle at this site.  Servers consult this
+        before submitting so that late/stale deliveries (possible under
+        crashes and message faults) become negative acks instead of
+        protocol violations."""
+        if not self.available:
+            return False
+        transaction_id = operation.transaction_id
+        if operation.op_type is OpType.BEGIN:
+            return (
+                transaction_id not in self._active
+                and transaction_id not in self._pending
+            )
+        return (
+            transaction_id in self._active
+            or transaction_id in self._pending
+        )
+
+    # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def waits_for_edges(self) -> set:
@@ -355,6 +412,10 @@ class LocalDBMS:
     @property
     def active_transactions(self) -> frozenset:
         return frozenset(self._active)
+
+    @property
+    def blocked_transactions(self) -> frozenset:
+        return frozenset(self._pending)
 
     def __repr__(self) -> str:
         return (

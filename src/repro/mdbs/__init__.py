@@ -2,30 +2,38 @@
 the event-driven GTM, local-transaction traffic, and ground-truth
 verification."""
 
-from repro.mdbs.events import EventLoop, SimulationError
-from repro.mdbs.server import Latencies, Server
+from repro.mdbs.events import EventLoop, ScheduledEvent, SimulationError
+from repro.mdbs.server import Latencies, ResilientServer, Server
 from repro.mdbs.simulator import (
     MDBSSimulator,
     SimulationConfig,
     SimulationReport,
 )
 from repro.mdbs.verification import (
+    ExactlyOnceReport,
     VerificationReport,
     assert_verified,
+    check_exactly_once,
+    committed_ser_projection,
     serialization_order_consistent,
     verify,
 )
 
 __all__ = [
     "EventLoop",
+    "ScheduledEvent",
     "SimulationError",
     "Latencies",
+    "ResilientServer",
     "Server",
     "MDBSSimulator",
     "SimulationConfig",
     "SimulationReport",
+    "ExactlyOnceReport",
     "VerificationReport",
     "assert_verified",
+    "check_exactly_once",
+    "committed_ser_projection",
     "serialization_order_consistent",
     "verify",
 ]

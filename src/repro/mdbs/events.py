@@ -21,11 +21,27 @@ class SimulationError(ReproError):
     """The event loop was driven past its configured horizon."""
 
 
+@dataclass
+class ScheduledEvent:
+    """A handle to a pending event; ``cancel()`` makes it a no-op.
+
+    Cancellation is how the resilient servers disarm ack-timeout timers
+    once the ack arrives, instead of letting dead timers fire and be
+    filtered by flag checks."""
+
+    time: float
+    action: Action
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class EventLoop:
     """A deterministic future-event list."""
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Action]] = []
+        self._heap: List[Tuple[float, int, ScheduledEvent]] = []
         self._sequence = itertools.count()
         self._now = 0.0
         #: events executed so far
@@ -35,24 +51,27 @@ class EventLoop:
     def now(self) -> float:
         return self._now
 
-    def schedule(self, delay: float, action: Action) -> None:
+    def schedule(self, delay: float, action: Action) -> ScheduledEvent:
         """Schedule *action* at ``now + delay`` (delay ≥ 0)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        heapq.heappush(
-            self._heap, (self._now + delay, next(self._sequence), action)
-        )
+        return self._push(self._now + delay, action)
 
-    def schedule_at(self, time: float, action: Action) -> None:
+    def schedule_at(self, time: float, action: Action) -> ScheduledEvent:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past ({time} < {self._now})"
             )
-        heapq.heappush(self._heap, (time, next(self._sequence), action))
+        return self._push(time, action)
+
+    def _push(self, time: float, action: Action) -> ScheduledEvent:
+        event = ScheduledEvent(time, action)
+        heapq.heappush(self._heap, (time, next(self._sequence), event))
+        return event
 
     @property
     def pending(self) -> int:
-        return len(self._heap)
+        return sum(1 for _, _, event in self._heap if not event.cancelled)
 
     def run(
         self,
@@ -62,12 +81,14 @@ class EventLoop:
         """Run until the heap empties, ``until`` passes, or the event
         budget is exhausted; returns the final simulation time."""
         while self._heap:
-            time, _seq, action = self._heap[0]
+            time, _seq, event = self._heap[0]
             if until is not None and time > until:
                 break
             heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
             self._now = time
-            action()
+            event.action()
             self.executed += 1
             if self.executed > max_events:
                 raise SimulationError(

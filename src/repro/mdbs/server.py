@@ -7,6 +7,16 @@ around a :class:`~repro.lmdbs.database.LocalDBMS` call: the submission
 reaches the site after ``message_delay``, the operation occupies the site
 for ``service_time`` once granted, and the acknowledgement travels back
 after another ``message_delay``.
+
+:class:`ResilientServer` is the fault-tolerant variant used when fault
+injection is enabled: every submission carries a unique sequence number
+and flows through the site's idempotent delivery channel
+(:class:`~repro.faults.injector.SiteChannel`), each message leg is
+subject to the injector's loss/duplication/delay faults, and an
+ack-timeout with capped exponential backoff and jittered retries
+re-sends submissions whose acknowledgement never arrived.  The
+completion callback fires **exactly once** per submission regardless of
+how many duplicate acks the network produces.
 """
 
 from __future__ import annotations
@@ -14,9 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.lmdbs.database import LocalDBMS, SubmitStatus
-from repro.mdbs.events import EventLoop
-from repro.schedules.model import Operation
+from repro.faults.injector import FaultInjector
+from repro.faults.model import RetryPolicy
+from repro.lmdbs.database import LocalDBMS
+from repro.mdbs.events import EventLoop, ScheduledEvent
+from repro.schedules.model import Operation, OpType
 
 #: Completion callback: ``callback(operation, value, aborted)`` at ack time.
 Completion = Callable[[Operation, Any, bool], None]
@@ -55,6 +67,15 @@ class Server:
         """Submit *operation*; *completion* fires when the ack returns."""
 
         def deliver() -> None:
+            if not self.db.accepts(operation):
+                # the site is dark or no longer knows the transaction
+                # (possible only under crashes/faults): negative ack
+                self.loop.schedule(
+                    self.latencies.message_delay,
+                    lambda: completion(operation, None, True),
+                )
+                return
+
             def local_callback(
                 op: Operation, value: Any, aborted: bool
             ) -> None:
@@ -86,3 +107,134 @@ class Server:
                 self.db.abort_transaction(self.transaction_id, reason)
 
         self.loop.schedule(self.latencies.message_delay, deliver)
+
+
+class ResilientServer(Server):
+    """A server link that survives message loss, duplication, delay, and
+    site crashes (see module docstring)."""
+
+    def __init__(
+        self,
+        transaction_id: str,
+        db: LocalDBMS,
+        loop: EventLoop,
+        latencies: Optional[Latencies],
+        injector: FaultInjector,
+        retry: Optional[RetryPolicy] = None,
+        still_wanted: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        super().__init__(transaction_id, db, loop, latencies)
+        self.injector = injector
+        self.retry = retry or RetryPolicy()
+        #: liveness predicate of the submission: when it turns False the
+        #: GTM no longer cares (incarnation aborted/completed) and all
+        #: retries and late deliveries become no-ops
+        self.still_wanted = still_wanted
+        self._done = False
+        self._timer: Optional[ScheduledEvent] = None
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        operation: Operation,
+        completion: Completion,
+        read_set: Optional[frozenset] = None,
+        write_set: Optional[frozenset] = None,
+    ) -> None:
+        seq = self.injector.next_seq()
+        channel = self.injector.channel(self.db.site)
+        attempt = {"count": 0}
+        # COMMIT submissions are never abandoned: once a commit may have
+        # executed, giving up and restarting the incarnation could apply
+        # its effects twice (docs/fault_model.md, "exactly-once commit")
+        unbounded = operation.op_type is OpType.COMMIT
+
+        def finish(value: Any, aborted: bool) -> None:
+            if self._done:
+                return  # duplicate or late ack: already answered GTM1
+            self._done = True
+            if self._timer is not None:
+                self._timer.cancel()
+            completion(operation, value, aborted)
+
+        def on_result(value: Any, aborted: bool, replayed: bool) -> None:
+            # site -> GTM leg: service time (unless the result is a
+            # cached replay or an abort), then the faulty return trip
+            service = (
+                0.0 if (aborted or replayed) else self.latencies.service_time
+            )
+            for extra in self.injector.message_fate():
+                self.loop.schedule(
+                    service + self.latencies.message_delay + extra,
+                    lambda v=value, a=aborted: finish(v, a),
+                )
+
+        def deliver_copy() -> None:
+            if self._done:
+                return
+            if not self.db.available or self.injector.site_down(
+                self.db.site, self.loop.now
+            ):
+                return  # the site is dark; the ack timeout covers us
+            channel.deliver(
+                seq,
+                operation,
+                self.db,
+                read_set,
+                write_set,
+                self.still_wanted,
+                on_result,
+            )
+
+        def send() -> None:
+            attempt["count"] += 1
+            if attempt["count"] > 1:
+                self.injector.stats.retries += 1
+            # GTM -> site leg: each delivered copy travels independently
+            for extra in self.injector.message_fate():
+                self.loop.schedule(
+                    self.latencies.message_delay + extra, deliver_copy
+                )
+            arm_timeout()
+
+        def arm_timeout() -> None:
+            timeout = self.injector.jitter(
+                self.retry.timeout_for(attempt["count"]), self.retry.jitter
+            )
+
+            def on_timeout() -> None:
+                if self._done:
+                    return
+                if self.still_wanted is not None and not self.still_wanted():
+                    return
+                self.injector.stats.timeouts += 1
+                if (
+                    not unbounded
+                    and attempt["count"] >= self.retry.max_attempts
+                ):
+                    # out of retries: report the submission as failed so
+                    # the GTM can abort and restart the incarnation
+                    self.injector.stats.give_ups += 1
+                    finish(None, True)
+                    return
+                send()
+
+            self._timer = self.loop.schedule(timeout, on_timeout)
+
+        send()
+
+    def abort(self, reason: str = "") -> None:
+        """Abort at the site; the message is subject to the same faults
+        (a lost abort leaves an orphan, reaped by the GTM's orphan
+        sweep)."""
+
+        def deliver() -> None:
+            if not self.db.available:
+                return  # the crash already wiped the transaction
+            if self.db.is_active(self.transaction_id) or self.db.is_blocked(
+                self.transaction_id
+            ):
+                self.db.abort_transaction(self.transaction_id, reason)
+
+        for extra in self.injector.message_fate():
+            self.loop.schedule(self.latencies.message_delay + extra, deliver)

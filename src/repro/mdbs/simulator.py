@@ -16,25 +16,43 @@ Timing model (all latencies configurable):
   progress for ``stall_timeout`` time units (cross-site blocking cycles
   are invisible to the local deadlock detectors).
 
+Fault injection (paper §8's future-work direction): pass a
+:class:`~repro.faults.injector.FaultInjector` and the simulator becomes
+fault-tolerant — GTM2 crashes are recovered from the journal
+(:mod:`repro.core.recovery`), site crashes abort in-flight
+subtransactions and restart after a downtime, messages are lost,
+duplicated, and delayed, submissions are retried with backoff through
+:class:`~repro.mdbs.server.ResilientServer`, restarted incarnations skip
+sites where the logical transaction already committed (exactly-once
+commits without 2PC), orphaned subtransactions are reaped, and sites
+that crash repeatedly are quarantined.  Without an injector none of
+these paths are taken and runs are byte-identical to the plain
+simulator.
+
 Collected metrics: throughput, per-transaction response times, global
-aborts, local aborts, scheme step counts and WAIT statistics.
+aborts, local aborts, scheme step counts, WAIT statistics, and — under
+fault injection — crash/retry/recovery counters.
 """
 
 from __future__ import annotations
 
 import random
 import statistics
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.engine import Engine
 from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.gtm import GlobalProgram, PlannedOp, STRATEGY_BY_PROTOCOL, plan_program
+from repro.core.recovery import Journal, recover_engine
 from repro.core.scheme import ConservativeScheme
 from repro.exceptions import ProtocolViolation, SchedulerError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultStats, RetryPolicy, SiteCrash
 from repro.lmdbs.database import LocalDBMS
-from repro.mdbs.events import EventLoop
-from repro.mdbs.server import Latencies, Server
+from repro.mdbs.events import EventLoop, SimulationError
+from repro.mdbs.server import Latencies, ResilientServer, Server
 from repro.schedules.global_schedule import (
     GlobalSchedule,
     SerOperation,
@@ -42,6 +60,7 @@ from repro.schedules.global_schedule import (
 )
 from repro.schedules.model import (
     Operation,
+    OpType,
     begin as begin_op,
     commit as commit_op,
     read as read_op,
@@ -62,6 +81,40 @@ class SimulationConfig:
     max_restarts: int = 25
     #: hard stop for the event loop
     horizon: float = 1_000_000.0
+    #: ack-timeout/backoff policy of the resilient servers (fault mode)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: a site crashing this many times is quarantined: new incarnations
+    #: touching it fail fast instead of stalling (graceful degradation)
+    quarantine_after_crashes: int = 3
+    #: how long after a global abort the orphan sweep waits before
+    #: reaping the incarnation's leftovers at the sites (covers the
+    #: in-flight abort messages); None = max(4 * message_delay, 10)
+    orphan_grace: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.latencies.message_delay < 0:
+            raise SimulationError("message_delay must be >= 0")
+        if self.latencies.service_time < 0:
+            raise SimulationError("service_time must be >= 0")
+        if self.stall_timeout <= 0:
+            raise SimulationError("stall_timeout must be > 0")
+        if self.restart_backoff < 0:
+            raise SimulationError("restart_backoff must be >= 0")
+        if self.max_restarts < 0:
+            raise SimulationError("max_restarts must be >= 0")
+        if self.horizon <= 0:
+            raise SimulationError("horizon must be > 0")
+        if self.quarantine_after_crashes < 1:
+            raise SimulationError("quarantine_after_crashes must be >= 1")
+        if self.orphan_grace is not None and self.orphan_grace < 0:
+            raise SimulationError("orphan_grace must be >= 0")
+        self.retry.validate()
+
+    @property
+    def effective_orphan_grace(self) -> float:
+        if self.orphan_grace is not None:
+            return self.orphan_grace
+        return max(4 * self.latencies.message_delay, 10.0)
 
 
 @dataclass
@@ -90,6 +143,13 @@ class SimulationReport:
     response_times: Tuple[float, ...]
     scheme_steps: int
     scheme_waits: int
+    #: global aborts triggered by the no-progress watchdog
+    watchdog_aborts: int = 0
+    #: fault-injection outcome (zeros / None without an injector)
+    gtm_crashes: int = 0
+    site_crashes: int = 0
+    quarantined_sites: Tuple[str, ...] = ()
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def throughput(self) -> float:
@@ -126,16 +186,26 @@ class MDBSSimulator:
         scheme: ConservativeScheme,
         config: Optional[SimulationConfig] = None,
         seed: int = 0,
+        injector: Optional[FaultInjector] = None,
+        scheme_factory: Optional[Callable[[], ConservativeScheme]] = None,
     ) -> None:
         self.sites = dict(sites)
         self.scheme = scheme
         self.config = config or SimulationConfig()
+        self.config.validate()
         self.loop = EventLoop()
         self.rng = random.Random(seed)
+        #: fault injection: when present, submissions go through resilient
+        #: servers, GTM2 keeps a journal, and the plan's crash schedule is
+        #: executed; when None the simulator behaves exactly as before
+        self.injector = injector
+        self._scheme_factory = scheme_factory or (lambda: type(scheme)())
+        self._journal = Journal() if injector is not None else None
         self.engine = Engine(
             scheme,
             submit_handler=self._execute_ser,
             ack_handler=self._on_gtm1_ack,
+            journal=self._journal,
         )
         self._runtimes: Dict[str, _GlobalRuntime] = {}
         self._stats: Dict[str, TransactionStats] = {}
@@ -149,6 +219,17 @@ class MDBSSimulator:
         self.local_aborts = 0
         self._local_counter = 0
         self._watchdog_armed = False
+        self.watchdog_aborts = 0
+        #: sites removed from service after repeated crashes
+        self.quarantined: Set[str] = set()
+        #: logical txn -> sites where a COMMIT already acked (restarted
+        #: incarnations skip these: exactly-once commits without 2PC)
+        self._committed_sites: Dict[str, Set[str]] = {}
+        #: incarnation -> abort time, for the orphan sweep
+        self._aborted_at: Dict[str, float] = {}
+        self._faults_scheduled = False
+        #: wall-clock GTM2 recovery times (seconds), for benchmarks
+        self.gtm_recovery_times: List[float] = []
         #: per-site monotone ticket counters (release order is
         #: authoritative under the one-outstanding-per-site rule)
         self._ticket_counters: Dict[str, int] = {}
@@ -186,6 +267,7 @@ class MDBSSimulator:
     # running
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
+        self._schedule_faults()
         self._arm_watchdog()
         self.loop.run(until=self.config.horizon)
         responses = tuple(
@@ -193,6 +275,7 @@ class MDBSSimulator:
             for stats in self._stats.values()
             if stats.response_time is not None
         )
+        stats = self.injector.stats if self.injector is not None else None
         return SimulationReport(
             duration=self.loop.now,
             committed_global=len(self.committed_global),
@@ -203,16 +286,27 @@ class MDBSSimulator:
             response_times=responses,
             scheme_steps=self.scheme.metrics.steps,
             scheme_waits=self.scheme.metrics.total_waited,
+            watchdog_aborts=self.watchdog_aborts,
+            gtm_crashes=stats.gtm_crashes if stats else 0,
+            site_crashes=stats.site_crashes if stats else 0,
+            quarantined_sites=tuple(sorted(self.quarantined)),
+            fault_stats=stats,
         )
+
+    def _watchdog_interval(self) -> float:
+        """Recomputed at every re-arm so mid-run changes to
+        ``stall_timeout`` take effect at the next tick."""
+        return self.config.stall_timeout / 2
 
     def _arm_watchdog(self) -> None:
         if self._watchdog_armed:
             return
         self._watchdog_armed = True
-        interval = self.config.stall_timeout / 2
 
         def tick() -> None:
             now = self.loop.now
+            if self.injector is not None:
+                self._reap_orphans(now)
             stalled = [
                 runtime
                 for runtime in self._runtimes.values()
@@ -223,13 +317,107 @@ class MDBSSimulator:
                 victim = min(
                     stalled, key=lambda r: (r.last_progress, r.incarnation)
                 )
+                self.watchdog_aborts += 1
                 self._abort_global(
                     victim.incarnation, "watchdog: no progress"
                 )
             if self._runtimes or self.loop.pending:
-                self.loop.schedule(interval, tick)
+                self.loop.schedule(self._watchdog_interval(), tick)
 
-        self.loop.schedule(interval, tick)
+        self.loop.schedule(self._watchdog_interval(), tick)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def _schedule_faults(self) -> None:
+        """Schedule the plan's GTM and site crashes (once per run)."""
+        if self.injector is None or self._faults_scheduled:
+            return
+        self._faults_scheduled = True
+        for at in self.injector.plan.gtm_crashes:
+            if at >= self.loop.now:
+                self.loop.schedule_at(at, self._crash_gtm)
+        for crash in self.injector.plan.site_crashes:
+            if crash.at >= self.loop.now and crash.site in self.sites:
+                self.loop.schedule_at(
+                    crash.at, lambda c=crash: self._crash_site(c)
+                )
+
+    def _crash_gtm(self) -> None:
+        """Crash GTM2 (the conservative scheduler) and recover it from
+        the journal.  GTM1's bookkeeping — plans, cursors, outstanding
+        acks — lives in the simulator and survives; only the scheme and
+        its engine state are wiped and rebuilt (paper Figure 3's
+        component, made recoverable)."""
+        if self.injector is None or self._journal is None:
+            return
+        self.injector.stats.gtm_crashes += 1
+        started = time.perf_counter()
+        fresh = self._scheme_factory()
+        self.engine = recover_engine(
+            fresh,
+            self._journal,
+            submit_handler=self._execute_ser,
+            ack_handler=self._on_gtm1_ack,
+            new_journal=self._journal,
+        )
+        self.scheme = fresh
+        self.gtm_recovery_times.append(time.perf_counter() - started)
+        # outstanding (logged-but-unprocessed) operations were re-queued
+        # by recovery with side effects suppressed; process them live now
+        self.engine.run()
+
+    def _crash_site(self, crash: SiteCrash) -> None:
+        """Crash one site: every in-flight transaction there aborts (the
+        abort listeners tell the GTM), the site refuses submissions for
+        the downtime, then restarts empty."""
+        if self.injector is None:
+            return
+        db = self.sites[crash.site]
+        self.injector.stats.site_crashes += 1
+        self.injector.mark_down(crash.site, self.loop.now + crash.downtime)
+        db.crash(f"site {crash.site!r} crashed")
+        if db.crash_count >= self.config.quarantine_after_crashes:
+            self._quarantine(crash.site)
+        self.loop.schedule(
+            crash.downtime, lambda: self._restart_site(crash.site)
+        )
+
+    def _restart_site(self, site: str) -> None:
+        self.sites[site].restart()
+        if self.injector is not None:
+            self.injector.mark_up(site)
+
+    def _quarantine(self, site: str) -> None:
+        """Take a repeatedly-crashing site out of service: abort the
+        in-flight incarnations touching it and fail fast any restart or
+        new admission that needs it (graceful degradation)."""
+        if site in self.quarantined:
+            return
+        self.quarantined.add(site)
+        for runtime in list(self._runtimes.values()):
+            if not runtime.done and site in runtime.program.sites:
+                self._abort_global(
+                    runtime.incarnation, f"site {site!r} quarantined"
+                )
+
+    def _reap_orphans(self, now: float) -> None:
+        """Abort site-side leftovers of incarnations the GTM already
+        aborted — the backstop for lost abort messages (an orphan holding
+        locks would otherwise stall the site until the watchdog killed
+        its victims one by one)."""
+        grace = self.config.effective_orphan_grace
+        for db in self.sites.values():
+            if not db.available:
+                continue
+            leftovers = db.active_transactions | db.blocked_transactions
+            for transaction_id in sorted(leftovers):
+                aborted_at = self._aborted_at.get(transaction_id)
+                if aborted_at is None or transaction_id in self._runtimes:
+                    continue
+                if now - aborted_at >= grace:
+                    db.abort_transaction(transaction_id, "orphan sweep")
+                    self.injector.stats.orphans_reaped += 1
 
     # ------------------------------------------------------------------
     # GTM1 (event-driven)
@@ -238,8 +426,51 @@ class MDBSSimulator:
         protocol = self.sites[site].protocol.name
         return STRATEGY_BY_PROTOCOL[protocol]
 
+    def _committed_sites_of(self, logical: str) -> Set[str]:
+        """Sites where an earlier incarnation of *logical* committed.
+        Besides the acks the GTM saw, a restart performs a *recovery
+        inquiry* against each site's durable history — the authority on
+        whether a commit executed whose ack was lost before the
+        incarnation was aborted (the uncertainty window that would
+        otherwise duplicate effects)."""
+        committed = set(self._committed_sites.get(logical, set()))
+        if self.injector is None:
+            return committed
+        incarnations = [logical] + [
+            f"{logical}#{attempt}"
+            for attempt in range(1, self._restart_count[logical] + 1)
+        ]
+        for site, db in self.sites.items():
+            if site in committed:
+                continue
+            if any(
+                db.history.outcome_of(incarnation) is OpType.COMMIT
+                for incarnation in incarnations
+            ):
+                committed.add(site)
+        return committed
+
     def _start_incarnation(self, logical: str) -> None:
         program = self._programs[logical]
+        committed_sites = self._committed_sites_of(logical)
+        if committed_sites:
+            # commit-site resumption: the logical transaction already
+            # committed at these sites in an earlier incarnation, so the
+            # restart must not re-apply its effects there
+            remaining = tuple(
+                access
+                for access in program.accesses
+                if access.site not in committed_sites
+            )
+            if not remaining:
+                self.committed_global.append(logical)
+                self._stats[logical].committed_at = self.loop.now
+                return
+            program = GlobalProgram(logical, remaining)
+        if any(site in self.quarantined for site in program.sites):
+            # graceful degradation: don't stall behind a dead site
+            self.failed_global.append(logical)
+            return
         count = self._restart_count[logical]
         incarnation = logical if count == 0 else f"{logical}#{count}"
         runtime = _GlobalRuntime(
@@ -273,17 +504,37 @@ class MDBSSimulator:
     def _submit_through_server(
         self, runtime: _GlobalRuntime, planned: PlannedOp
     ) -> None:
-        server = Server(
-            runtime.incarnation,
-            self.sites[planned.operation.site],
-            self.loop,
-            self.config.latencies,
-        )
         incarnation = runtime.incarnation
+        db = self.sites[planned.operation.site]
 
         def completion(operation: Operation, value: Any, aborted: bool) -> None:
             self._on_completion(incarnation, operation, value, aborted)
 
+        if self.injector is None:
+            server: Server = Server(
+                incarnation, db, self.loop, self.config.latencies
+            )
+        else:
+
+            def still_wanted() -> bool:
+                # the GTM cares about this submission only while the
+                # incarnation is alive and still at this plan step
+                return (
+                    not runtime.done
+                    and runtime.cursor < len(runtime.plan)
+                    and runtime.plan[runtime.cursor].operation
+                    is planned.operation
+                )
+
+            server = ResilientServer(
+                incarnation,
+                db,
+                self.loop,
+                self.config.latencies,
+                self.injector,
+                retry=self.config.retry,
+                still_wanted=still_wanted,
+            )
         server.submit(
             planned.operation,
             completion,
@@ -324,6 +575,15 @@ class MDBSSimulator:
         if planned.operation is not operation:
             return  # stale completion from a purged incarnation
         runtime.last_progress = self.loop.now
+        if (
+            self.injector is not None
+            and operation.op_type is OpType.COMMIT
+        ):
+            # remember where the logical transaction has committed so a
+            # restarted incarnation never re-applies its effects there
+            self._committed_sites.setdefault(
+                self._logical(incarnation), set()
+            ).add(operation.site)
         if planned.is_ticket_read:
             # the value written back is monotone per site; GTM2's
             # one-outstanding-per-site rule makes the release order
@@ -382,10 +642,27 @@ class MDBSSimulator:
             return
         runtime.done = True
         self.global_aborts += 1
+        self._aborted_at[incarnation] = self.loop.now
         for site in runtime.program.sites:
-            Server(
-                incarnation, self.sites[site], self.loop, self.config.latencies
-            ).abort(reason)
+            if self.injector is None:
+                server: Server = Server(
+                    incarnation,
+                    self.sites[site],
+                    self.loop,
+                    self.config.latencies,
+                )
+            else:
+                # abort messages ride the same faulty network; a lost
+                # one leaves an orphan for the sweep to reap
+                server = ResilientServer(
+                    incarnation,
+                    self.sites[site],
+                    self.loop,
+                    self.config.latencies,
+                    self.injector,
+                    retry=self.config.retry,
+                )
+            server.abort(reason)
         self.engine.purge_transaction(incarnation)
         remover = getattr(self.scheme, "remove_transaction", None)
         if remover is not None:
@@ -472,3 +749,18 @@ class MDBSSimulator:
 
     def verify_serializable(self) -> Tuple[str, ...]:
         return self.global_schedule().assert_globally_serializable()
+
+    def exactly_once_report(self):
+        """No-lost/no-duplicated global commits, from ground truth (see
+        :func:`repro.mdbs.verification.check_exactly_once`)."""
+        from repro.mdbs.verification import check_exactly_once
+
+        return check_exactly_once(
+            self.global_schedule(),
+            reported_committed=self.committed_global,
+            program_sites={
+                logical: program.sites
+                for logical, program in self._programs.items()
+            },
+            reported_failed=self.failed_global,
+        )
