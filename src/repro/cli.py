@@ -192,6 +192,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 gtm_crash_count=args.gtm_crashes,
                 site_crash_count=args.site_crashes,
                 downtime=args.downtime,
+                atomic_commit=args.atomic_commit,
+                prepare_crash_count=args.prepare_crashes,
             )
             result = run_chaos(options, seed)
             committed += result.report.committed_global
@@ -217,6 +219,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 bad,
             )
         )
+    commit_mode = "2pc" if args.atomic_commit else "no-2pc"
     print(
         render_table(
             (
@@ -231,7 +234,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             ),
             rows,
             title=(
-                f"{args.runs} chaos runs/scheme, loss={args.loss_rate}, "
+                f"{args.runs} chaos runs/scheme ({commit_mode}), "
+                f"loss={args.loss_rate}, "
                 f"dup={args.duplication_rate}, delay={args.delay_rate}"
             ),
         )
@@ -240,7 +244,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         for line in violations:
             print(f"!! {line}")
         return 1
-    print("all runs serializable, exactly-once, terminated")
+    if args.atomic_commit:
+        print("all runs serializable, exactly-once, atomic, terminated")
+    else:
+        print("all runs serializable, exactly-once, terminated")
     return 0
 
 
@@ -332,6 +339,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--gtm-crashes", type=int, default=1)
     chaos_parser.add_argument("--site-crashes", type=int, default=1)
     chaos_parser.add_argument("--downtime", type=float, default=25.0)
+    chaos_parser.add_argument(
+        "--atomic-commit",
+        action="store_true",
+        help="run with presumed-abort 2PC; partial commits become "
+        "hard violations",
+    )
+    chaos_parser.add_argument(
+        "--prepare-crashes",
+        type=int,
+        default=0,
+        help="site crashes keyed to 2PC progress (after the n-th YES "
+        "vote); needs --atomic-commit to matter",
+    )
     chaos_parser.set_defaults(func=cmd_chaos)
 
     report_parser = sub.add_parser(

@@ -1,0 +1,35 @@
+"""Atomic commitment for the MDBS: presumed-abort two-phase commit.
+
+PR 1's fault model documented the hole this package closes: without an
+atomic commitment protocol, a permanently failed global transaction may
+commit at some sites and not others ("the atomicity caveat").  With
+``atomic_commit=True`` the simulator runs presumed-abort 2PC:
+
+- :mod:`repro.commit.coordinator` — the GTM-side PREPARE/VOTE/DECIDE
+  state machine; COMMIT decisions are force-logged to the GTM2
+  :class:`~repro.core.recovery.Journal` and replayed after crashes,
+  aborts are presumed from absence;
+- :mod:`repro.commit.participant` — the site-side role: durable
+  prepared records in the :class:`~repro.lmdbs.history.HistoryLog`,
+  unilateral abort before the YES vote, in-doubt blocking after it,
+  and a cooperative termination protocol (peer + coordinator
+  inquiries) with a recovery inquiry on restart;
+- :mod:`repro.commit.model` — :class:`CommitPolicy` (in-doubt window,
+  inquiry backoff) and :class:`CommitStats`.
+
+``docs/fault_model.md`` specifies the protocol; ``check_atomicity``
+(:mod:`repro.mdbs.verification`) upgrades partial commits to a hard
+violation whenever this layer is enabled.
+"""
+
+from repro.commit.coordinator import TwoPhaseCoordinator
+from repro.commit.model import CommitPolicy, CommitProtocolError, CommitStats
+from repro.commit.participant import CommitParticipant
+
+__all__ = [
+    "CommitParticipant",
+    "CommitPolicy",
+    "CommitProtocolError",
+    "CommitStats",
+    "TwoPhaseCoordinator",
+]

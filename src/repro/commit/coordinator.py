@@ -1,0 +1,108 @@
+"""The GTM-side presumed-abort 2PC coordinator.
+
+State machine per global transaction (one incarnation at a time):
+
+``voting`` → (all YES) → ``committed`` — the only transition that writes
+to stable storage: the COMMIT decision is force-logged to the
+:class:`~repro.core.recovery.Journal` *before* any participant is told,
+so a GTM2 crash can never forget a commit a participant already applied.
+
+``voting`` → (any NO / timeout / local abort) → ``aborted`` — nothing is
+logged.  Forgetting *is* the abort decision: any inquiry about a
+transaction with no commit record and no open voting round is answered
+ABORT (the "presumed abort" rule), which is exactly why abort decisions
+need neither log writes nor acknowledgements.
+
+After a GTM2 crash, :meth:`TwoPhaseCoordinator.recover` rebuilds the
+decided-commit set from the journal's decision records; the caller
+(GTM1, whose bookkeeping survives — see ``docs/fault_model.md``)
+re-opens the voting rounds of its still-live incarnations so in-doubt
+inquiries made *during* an open round are answered "undecided" rather
+than prematurely presumed aborted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.commit.model import CommitStats
+
+
+class TwoPhaseCoordinator:
+    """Presumed-abort commit coordinator over a durable journal.
+
+    ``journal`` is a :class:`repro.core.recovery.Journal` (or anything
+    with ``log_decision``/``commit_decisions``); None means decisions
+    are volatile — acceptable only when GTM crashes are not injected.
+    """
+
+    def __init__(self, journal=None, stats: Optional[CommitStats] = None) -> None:
+        self.journal = journal
+        self.stats = stats or CommitStats()
+        self._commits: Set[str] = (
+            set(journal.commit_decisions()) if journal is not None else set()
+        )
+        #: incarnations with an open voting round: inquiries about them
+        #: are answered "undecided" instead of presumed-abort
+        self._voting: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def begin_voting(self, incarnation: str) -> None:
+        self._voting.add(incarnation)
+
+    def decide_commit(self, incarnation: str) -> None:
+        """All participants voted YES: force-log, then remember.  The
+        log write precedes every outgoing COMMIT message — the
+        presumed-abort invariant that makes recovery sound."""
+        self._voting.discard(incarnation)
+        if incarnation in self._commits:
+            return
+        if self.journal is not None:
+            self.journal.log_decision(incarnation)
+        self._commits.add(incarnation)
+        self.stats.commit_decisions += 1
+
+    def decide_abort(self, incarnation: str) -> None:
+        """Abort decision: close the voting round and forget.  No log
+        record, no acks awaited — absence means abort."""
+        self._voting.discard(incarnation)
+        self.stats.abort_decisions += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def decided_commit(self, incarnation: str) -> bool:
+        return incarnation in self._commits
+
+    def resolve(self, incarnation: str) -> Optional[bool]:
+        """Answer an in-doubt participant's inquiry: True = COMMIT,
+        False = ABORT (presumed), None = still voting, ask again."""
+        self.stats.inquiries += 1
+        if incarnation in self._commits:
+            return True
+        if incarnation in self._voting:
+            return None
+        return False
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls, journal, stats: Optional[CommitStats] = None
+    ) -> "TwoPhaseCoordinator":
+        """Rebuild after a GTM2 crash: the force-logged COMMIT decisions
+        are replayed from the journal; everything else is presumed
+        aborted until the caller re-opens its surviving voting rounds
+        via :meth:`begin_voting`."""
+        coordinator = cls(journal, stats)
+        coordinator.stats.coordinator_recoveries += 1
+        return coordinator
+
+    def __repr__(self) -> str:
+        return (
+            f"<TwoPhaseCoordinator commits={len(self._commits)} "
+            f"voting={len(self._voting)}>"
+        )

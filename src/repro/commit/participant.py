@@ -1,0 +1,313 @@
+"""The site-side 2PC participant.
+
+One :class:`CommitParticipant` wraps each
+:class:`~repro.lmdbs.database.LocalDBMS` and owns the participant half
+of presumed-abort two-phase commit:
+
+- **PREPARE** (:meth:`on_prepare`) — consult the local protocol's
+  ``on_prepare`` hook; on GRANT, durably mark the transaction prepared
+  in the :class:`~repro.lmdbs.history.HistoryLog` (the force-written
+  prepared record) and vote YES.  Anything else — validation failure,
+  a transaction the site no longer knows, a duplicate of an already
+  decided transaction — votes NO, which presumed abort makes safe:
+  before it is prepared a participant may abort unilaterally.
+- **in doubt** — after a YES vote the transaction is *blocked in doubt*:
+  it holds its locks and may be resolved only by a decision.  Non-forced
+  aborts are refused by the database (the prepared guard), and site
+  crashes preserve prepared transactions (their prepared record is
+  durable).
+- **DECIDE** (:meth:`on_decide`) — idempotently apply the coordinator's
+  decision: COMMIT submits the local commit (acknowledged when it
+  executes), ABORT force-aborts and clears the prepared mark.
+- **termination protocol** — when the decision does not arrive within
+  the policy's in-doubt window, the participant runs *cooperative
+  termination*: it asks the peer participants (any one that executed
+  the decision resolves it without the coordinator) and sends the
+  coordinator an inquiry (answered from the decision log under presumed
+  abort).  On restart after a crash the recovered prepared records
+  trigger an immediate termination round — the recovery inquiry.
+
+All messaging (inquiry and reply legs) goes through the injected
+``fate()``/``message_delay`` so message loss, duplication, and delay
+apply to the termination traffic exactly as to everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.commit.model import CommitPolicy, CommitStats
+from repro.lmdbs.database import LocalDBMS
+from repro.lmdbs.protocols.base import Verdict
+from repro.schedules.model import Operation, OpType, commit as commit_op
+
+#: Decision acknowledgement: ``ack(applied)`` — False means the
+#: participant could not honour the decision (a protocol soundness
+#: violation for COMMIT; surfaced, never silently swallowed).
+DecisionAck = Callable[[bool], None]
+
+
+class CommitParticipant:
+    """Participant role of one site in presumed-abort 2PC."""
+
+    def __init__(
+        self,
+        site: str,
+        db: LocalDBMS,
+        loop,
+        policy: CommitPolicy,
+        stats: CommitStats,
+        coordinator_resolver: Callable[[str], Optional[bool]],
+        message_delay: float = 1.0,
+        fate: Optional[Callable[[], Tuple[float, ...]]] = None,
+        on_yes_vote: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        self.site = site
+        self.db = db
+        self.loop = loop
+        self.policy = policy
+        self.stats = stats
+        #: synchronous decision-log lookup at the coordinator (the
+        #: messaging around it is modelled here, on both legs)
+        self.coordinator_resolver = coordinator_resolver
+        self.message_delay = message_delay
+        self.fate = fate or (lambda: (0.0,))
+        #: fault-point hook: called after each YES vote with the site's
+        #: running YES count (drives ``FaultPlan.crash_after_prepare``)
+        self.on_yes_vote = on_yes_vote
+        #: peer participants for cooperative termination (set by the
+        #: simulator once all participants exist)
+        self.peers: Dict[str, "CommitParticipant"] = {}
+        #: in-doubt entry times, and the resolved window lengths (E11)
+        self._in_doubt_since: Dict[str, float] = {}
+        self.in_doubt_times: List[float] = []
+        self._termination_timers: Dict[str, object] = {}
+        self._termination_attempts: Dict[str, int] = {}
+        #: COMMIT decisions currently applying (volatile — a crash
+        #: forgets them and a redelivered decision re-applies)
+        self._committing: Set[str] = set()
+        self._commit_waiters: Dict[str, List[DecisionAck]] = {}
+        self._yes_votes = 0
+
+    # ------------------------------------------------------------------
+    # phase 1: PREPARE
+    # ------------------------------------------------------------------
+    def on_prepare(self, incarnation: str) -> bool:
+        """Vote on *incarnation*; True = YES (prepared record written)."""
+        outcome = self.db.history.outcome_of(incarnation)
+        if outcome is OpType.COMMIT:
+            return True  # already decided and applied; the ack was lost
+        if outcome is OpType.ABORT:
+            return False
+        if self.db.history.is_prepared(incarnation):
+            return True  # duplicate PREPARE: the promise stands
+        if not self.db.is_active(incarnation) or self.db.is_blocked(
+            incarnation
+        ):
+            # never began here, wiped by a crash, or an operation is
+            # still in flight: refuse — safe, because a participant may
+            # abort unilaterally at any point before it votes YES
+            self.stats.votes_no += 1
+            return False
+        decision = self.db.protocol.on_prepare(incarnation)
+        if decision.verdict is not Verdict.GRANT:
+            # validation failure (OCC) or any other refusal: the vote is
+            # NO and the subtransaction dies here and now
+            self.stats.votes_no += 1
+            self.db.abort_transaction(
+                incarnation, decision.reason or "prepare refused"
+            )
+            return False
+        self.db.history.mark_prepared(incarnation)
+        self.stats.votes_yes += 1
+        self._enter_in_doubt(incarnation)
+        self._yes_votes += 1
+        if self.on_yes_vote is not None:
+            self.on_yes_vote(self.site, self._yes_votes)
+        return True
+
+    # ------------------------------------------------------------------
+    # phase 2: DECIDE
+    # ------------------------------------------------------------------
+    def on_decide(self, incarnation: str, commit: bool, ack: DecisionAck) -> None:
+        """Apply the coordinator's decision, idempotently."""
+        self.stats.decides_delivered += 1
+        outcome = self.db.history.outcome_of(incarnation)
+        if not commit:
+            if (
+                self.db.history.is_prepared(incarnation)
+                or self.db.is_active(incarnation)
+                or self.db.is_blocked(incarnation)
+            ):
+                self.db.abort_transaction(
+                    incarnation, "coordinator decided abort", force=True
+                )
+            self._leave_in_doubt(incarnation)
+            ack(True)
+            return
+        if outcome is OpType.COMMIT:
+            ack(True)  # decision already applied; re-acknowledge
+            return
+        if outcome is OpType.ABORT or not self.db.history.is_prepared(
+            incarnation
+        ):
+            # a COMMIT decision reached a participant that is not
+            # prepared — impossible in a sound run; nack so the
+            # violation is surfaced (check_atomicity sees the ground
+            # truth) instead of retried forever
+            ack(False)
+            return
+        self._commit_waiters.setdefault(incarnation, []).append(ack)
+        if incarnation in self._committing:
+            return  # a commit is already applying; all acks share it
+        self._committing.add(incarnation)
+
+        def applied(op: Operation, value, aborted: bool) -> None:
+            self._committing.discard(incarnation)
+            if not aborted:
+                self.db.history.clear_prepared(incarnation)
+                self._leave_in_doubt(incarnation)
+            for waiter in self._commit_waiters.pop(incarnation, []):
+                waiter(not aborted)
+
+        self.db.submit(commit_op(incarnation, self.site), callback=applied)
+
+    def local_outcome(self, incarnation: str) -> Optional[bool]:
+        """Peer-inquiry answer: True/False when this site saw the
+        decision (its durable history has a COMMIT/ABORT), None when it
+        has no information (or is dark)."""
+        if not self.db.available:
+            return None
+        outcome = self.db.history.outcome_of(incarnation)
+        if outcome is OpType.COMMIT:
+            return True
+        if outcome is OpType.ABORT:
+            return False
+        return None
+
+    # ------------------------------------------------------------------
+    # in-doubt bookkeeping + termination protocol
+    # ------------------------------------------------------------------
+    def _enter_in_doubt(self, incarnation: str) -> None:
+        self._in_doubt_since[incarnation] = self.loop.now
+        self._arm_termination(incarnation)
+
+    def _leave_in_doubt(self, incarnation: str) -> None:
+        since = self._in_doubt_since.pop(incarnation, None)
+        if since is not None:
+            self.in_doubt_times.append(self.loop.now - since)
+            self.stats.in_doubt_resolved += 1
+        timer = self._termination_timers.pop(incarnation, None)
+        if timer is not None:
+            timer.cancel()
+        self._termination_attempts.pop(incarnation, None)
+
+    def _arm_termination(self, incarnation: str) -> None:
+        attempt = self._termination_attempts.get(incarnation, 0) + 1
+        self._termination_attempts[incarnation] = attempt
+        delay = min(
+            self.policy.decision_timeout
+            * self.policy.backoff_factor ** (attempt - 1),
+            self.policy.max_timeout,
+        )
+        self._termination_timers[incarnation] = self.loop.schedule(
+            delay, lambda: self._run_termination(incarnation)
+        )
+
+    def _run_termination(self, incarnation: str) -> None:
+        """One termination round: ask every peer and the coordinator;
+        the first definite answer resolves the in-doubt transaction."""
+        if incarnation not in self._in_doubt_since:
+            return
+        if not self.db.available:
+            self._arm_termination(incarnation)
+            return  # we are dark; try again after the next backoff
+        self.stats.termination_rounds += 1
+        for peer in self.peers.values():
+            if peer is self:
+                continue
+            for extra in self.fate():  # inquiry leg
+                self.loop.schedule(
+                    self.message_delay + extra,
+                    lambda p=peer: self._peer_inquiry(incarnation, p),
+                )
+        for extra in self.fate():  # coordinator inquiry leg
+            self.loop.schedule(
+                self.message_delay + extra,
+                lambda: self._coordinator_inquiry(incarnation),
+            )
+        self._arm_termination(incarnation)
+
+    def _peer_inquiry(self, incarnation: str, peer: "CommitParticipant") -> None:
+        if incarnation not in self._in_doubt_since:
+            return
+        verdict = peer.local_outcome(incarnation)
+        if verdict is None:
+            return
+        for extra in self.fate():  # reply leg
+            self.loop.schedule(
+                self.message_delay + extra,
+                lambda v=verdict: self._resolve_in_doubt(
+                    incarnation, v, by_peer=True
+                ),
+            )
+
+    def _coordinator_inquiry(self, incarnation: str) -> None:
+        if incarnation not in self._in_doubt_since:
+            return
+        verdict = self.coordinator_resolver(incarnation)
+        if verdict is None:
+            return  # voting still open at the coordinator; ask again
+        for extra in self.fate():  # reply leg
+            self.loop.schedule(
+                self.message_delay + extra,
+                lambda v=verdict: self._resolve_in_doubt(
+                    incarnation, v, by_peer=False
+                ),
+            )
+
+    def _resolve_in_doubt(
+        self, incarnation: str, commit: bool, by_peer: bool
+    ) -> None:
+        if incarnation not in self._in_doubt_since:
+            return  # the real decision (or another reply) got here first
+        if not self.db.available:
+            return  # crashed while the reply was in flight
+        if by_peer:
+            self.stats.resolved_by_peer += 1
+        else:
+            self.stats.resolved_by_coordinator += 1
+        self.on_decide(incarnation, commit, lambda ok: None)
+
+    # ------------------------------------------------------------------
+    # crash / restart
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """The site crashed: volatile participant state (in-flight
+        decision applications, pending acks, timers) is lost; the
+        durable prepared records and the in-doubt entry times (metrics
+        measure the full blocked window, across the crash) survive."""
+        self._committing.clear()
+        self._commit_waiters.clear()
+        for timer in self._termination_timers.values():
+            timer.cancel()
+        self._termination_timers.clear()
+        self._termination_attempts.clear()
+
+    def on_restart(self) -> None:
+        """Recovery inquiry: every prepared record found in the durable
+        log re-enters the in-doubt ledger and immediately runs a
+        termination round against the peers and the coordinator."""
+        for incarnation in sorted(self.db.history.prepared_transactions):
+            if incarnation not in self._in_doubt_since:
+                self._in_doubt_since[incarnation] = self.loop.now
+            timer = self._termination_timers.pop(incarnation, None)
+            if timer is not None:
+                timer.cancel()
+            self._run_termination(incarnation)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CommitParticipant site={self.site!r} "
+            f"in_doubt={len(self._in_doubt_since)}>"
+        )

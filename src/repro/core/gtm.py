@@ -134,17 +134,30 @@ class PlannedOp:
     #: ticket writes need the value read by the preceding ticket read
     is_ticket_read: bool = False
     is_ticket_write: bool = False
+    #: under atomic commitment (:mod:`repro.commit`) the final per-site
+    #: COMMIT operation is replaced by a 2PC PREPARE request; the COMMIT
+    #: itself is issued by the coordinator's decision phase
+    is_prepare: bool = False
 
 
 def plan_program(
     program: GlobalProgram,
     incarnation: str,
     strategy_for: Callable[[str], str],
+    atomic_commit: bool = False,
 ) -> List[PlannedOp]:
     """Expand a program into the per-operation plan of one incarnation:
     begins, data accesses, ticket pairs, commits, with the ser-image flags
     set per site strategy.  ``strategy_for(site)`` names the site's
-    serialization-function strategy (GTM1's knowledge of the sites)."""
+    serialization-function strategy (GTM1's knowledge of the sites).
+
+    With ``atomic_commit`` the trailing per-site COMMITs become 2PC
+    PREPARE requests (``is_prepare``); the actual COMMIT is issued only
+    after every site voted YES (:mod:`repro.commit`).  Sites with a
+    commit serialization strategy keep the prepare as their ser image:
+    for strict 2PL the serialization point is the lock point, which the
+    prepare fixes — the decision phase changes nothing the GTM2 order
+    depends on."""
     plan: List[PlannedOp] = []
     txn = incarnation
     begun: Set[str] = set()
@@ -183,7 +196,9 @@ def plan_program(
                 )
             )
     for site in program.sites:
-        plan.append(PlannedOp(commit_op(txn, site)))
+        plan.append(
+            PlannedOp(commit_op(txn, site), is_prepare=atomic_commit)
+        )
     _mark_ser_images(plan, program, strategy_for)
     return plan
 

@@ -54,6 +54,11 @@ class Journal:
     #: ``(processed-position, transaction_id)`` purge markers: the purge
     #: happened after ``processed[:position]`` had been acted on
     purges: List[Tuple[int, str]] = field(default_factory=list)
+    #: 2PC coordinator decision records, in decision order.  Presumed
+    #: abort logs *only* COMMIT decisions — the force-write that must
+    #: precede any outgoing COMMIT message; an incarnation absent from
+    #: this list is presumed aborted (:mod:`repro.commit.coordinator`).
+    decisions: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         # Rebuild the sequence-number index from the (possibly truncated)
@@ -71,6 +76,7 @@ class Journal:
             self._pending_seqs.add(seq)
         for operation in self.processed:
             self._consume(operation)
+        self._decided: Set[str] = set(self.decisions)
 
     def _consume(self, operation: QueueOp) -> None:
         bucket = self._unprocessed.get(operation)
@@ -99,12 +105,29 @@ class Journal:
         logged-but-unprocessed operations are dead)."""
         self.purges.append((len(self.processed), transaction_id))
 
+    def log_decision(self, incarnation: str) -> None:
+        """Force-log a 2PC COMMIT decision (idempotent).  Presumed
+        abort never logs ABORT decisions — absence means abort."""
+        if incarnation in self._decided:
+            return
+        self._decided.add(incarnation)
+        self.decisions.append(incarnation)
+
     # ------------------------------------------------------------------
     # recovery queries
     # ------------------------------------------------------------------
     @property
     def purged_transactions(self) -> frozenset:
         return frozenset(transaction_id for _, transaction_id in self.purges)
+
+    def commit_decisions(self) -> Tuple[str, ...]:
+        """All logged COMMIT decisions, in decision order."""
+        return tuple(self.decisions)
+
+    def decision_of(self, incarnation: str) -> bool:
+        """True when a COMMIT decision is on record; absence means the
+        incarnation is presumed aborted."""
+        return incarnation in self._decided
 
     def outstanding(self) -> Tuple[QueueOp, ...]:
         """Logged-but-unprocessed operations, in insertion order, with
@@ -122,10 +145,18 @@ class Journal:
             if seq in self._pending_seqs and operation.transaction_id not in dead
         )
 
-    def truncate(self, enqueued_upto: int, processed_upto: int) -> "Journal":
+    def truncate(
+        self,
+        enqueued_upto: int,
+        processed_upto: int,
+        decisions_upto: Optional[int] = None,
+    ) -> "Journal":
         """A copy as it would look after a crash that lost the tail
         (used by tests to simulate partial persistence — a real
-        deployment would fsync per record)."""
+        deployment would fsync per record).  Decision records are
+        force-written before any COMMIT message leaves the coordinator,
+        so by default they all survive; ``decisions_upto`` lets tests
+        model losing the unforced tail."""
         return Journal(
             enqueued=list(self.enqueued[:enqueued_upto]),
             processed=list(self.processed[:processed_upto]),
@@ -134,6 +165,11 @@ class Journal:
                 for position, transaction_id in self.purges
                 if position <= processed_upto
             ],
+            decisions=list(
+                self.decisions
+                if decisions_upto is None
+                else self.decisions[:decisions_upto]
+            ),
         )
 
     def __len__(self) -> int:

@@ -120,7 +120,13 @@ class Scheme2(ConservativeScheme):
 
     def act_fin(self, operation: Fin) -> None:
         transaction_id = operation.transaction_id
-        self._finished_sites = tuple(self.tsgd.sites_of(transaction_id))
+        # sorted: sites_of returns a frozenset, and the wake-hint order
+        # derived from this tuple decides which waiting ser-operation is
+        # re-examined first — hash order here leaks into outcomes and
+        # breaks cross-process replay of seeded chaos runs
+        self._finished_sites = tuple(
+            sorted(self.tsgd.sites_of(transaction_id))
+        )
         for site in self.tsgd.sites_of(transaction_id):
             self.metrics.step()
             self._executed.discard((transaction_id, site))

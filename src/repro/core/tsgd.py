@@ -32,6 +32,7 @@ minimal; deciding non-minimality is NP-complete (Theorem 7), which
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.metrics import SchemeMetrics
@@ -48,6 +49,11 @@ class TSGD:
         self._txn_sites: Dict[str, Set[str]] = {}
         self._site_txns: Dict[str, Set[str]] = {}
         self._deps: Set[Dependency] = set()
+        #: per-endpoint dependency indexes in insertion order, so the
+        #: hot ``cond_ser`` scan is O(degree) instead of O(|D|) and its
+        #: iteration order no longer depends on set (hash) order
+        self._incoming: Dict[str, List[Dependency]] = {}
+        self._outgoing: Dict[str, List[Dependency]] = {}
         self._metrics = metrics or SchemeMetrics()
 
     # ------------------------------------------------------------------
@@ -77,11 +83,22 @@ class TSGD:
                 adjacent.discard(transaction_id)
                 if not adjacent:
                     del self._site_txns[site]
-        self._deps = {
-            dep
-            for dep in self._deps
-            if dep[0] != transaction_id and dep[2] != transaction_id
-        }
+        dead = self._incoming.pop(transaction_id, []) + self._outgoing.pop(
+            transaction_id, []
+        )
+        for dep in dead:
+            if dep not in self._deps:
+                continue
+            self._deps.discard(dep)
+            before, _, after = dep
+            if before != transaction_id:
+                self._outgoing[before].remove(dep)
+                if not self._outgoing[before]:
+                    del self._outgoing[before]
+            if after != transaction_id:
+                self._incoming[after].remove(dep)
+                if not self._incoming[after]:
+                    del self._incoming[after]
 
     def add_dependency(self, before: str, site: str, after: str) -> None:
         if site not in self._txn_sites.get(before, ()):  # pragma: no cover
@@ -93,7 +110,12 @@ class TSGD:
                 f"no edge ({after!r}, {site!r}) for dependency"
             )
         self._metrics.step()
-        self._deps.add((before, site, after))
+        dep = (before, site, after)
+        if dep in self._deps:
+            return
+        self._deps.add(dep)
+        self._outgoing.setdefault(before, []).append(dep)
+        self._incoming.setdefault(after, []).append(dep)
 
     def add_dependencies(self, deps: Iterable[Dependency]) -> None:
         for before, site, after in deps:
@@ -127,10 +149,10 @@ class TSGD:
         return (before, site, after) in self._deps
 
     def incoming_dependencies(self, transaction_id: str) -> Tuple[Dependency, ...]:
-        return tuple(dep for dep in self._deps if dep[2] == transaction_id)
+        return tuple(self._incoming.get(transaction_id, ()))
 
     def outgoing_dependencies(self, transaction_id: str) -> Tuple[Dependency, ...]:
-        return tuple(dep for dep in self._deps if dep[0] == transaction_id)
+        return tuple(self._outgoing.get(transaction_id, ()))
 
     # ------------------------------------------------------------------
     # Figure 4: Eliminate_Cycles
@@ -162,8 +184,8 @@ class TSGD:
         # on later visits.  This is what keeps the procedure within the
         # paper's O(n²·dav) bound (Theorem 6) instead of rescanning every
         # candidate on every visit.
-        remaining: Dict[str, List[Tuple[str, str]]] = {}
-        deferred: Dict[str, List[Tuple[str, str]]] = {}
+        remaining: Dict[str, "deque"] = {}
+        deferred: Dict[str, "deque"] = {}
         v = transaction_id
 
         while True:
@@ -208,22 +230,22 @@ class TSGD:
         used: Set[Tuple[str, str]],
         delta: Set[Dependency],
         s_par: Dict[str, List[str]],
-        remaining: Dict[str, List[Tuple[str, str]]],
-        deferred: Dict[str, List[Tuple[str, str]]],
+        remaining: Dict[str, "deque"],
+        deferred: Dict[str, "deque"],
     ) -> Optional[Tuple[str, str]]:
         """Steps 2–3 of Figure 4: an eligible pair ``(u, w)`` at node
         *v*, or ``None``.  Consumes the node's candidate cursor."""
         arrival = s_par[v][0] if s_par[v] else None
         if v not in remaining:
-            remaining[v] = self._all_pairs(v)
-            deferred[v] = []
+            remaining[v] = deque(self._all_pairs(v))
+            deferred[v] = deque()
 
-        def examine(queue: List[Tuple[str, str]]) -> Optional[Tuple[str, str]]:
+        def examine(queue: "deque") -> Optional[Tuple[str, str]]:
             defer_again: List[Tuple[str, str]] = []
             chosen: Optional[Tuple[str, str]] = None
             while queue:
                 self._metrics.step()
-                u, w = queue.pop(0)
+                u, w = queue.popleft()
                 if w != root and (w, u) in used:
                     continue  # permanently blocked
                 if (v, u, w) in self._deps or (v, u, w) in delta:
@@ -237,7 +259,7 @@ class TSGD:
             return chosen
 
         staged = deferred[v]
-        deferred[v] = []
+        deferred[v] = deque()
         pair = examine(staged)
         if pair is not None:
             # unexamined staged entries stay deferred for later visits

@@ -23,6 +23,7 @@ from repro.faults.model import (
     FaultConfigError,
     FaultStats,
     MessageFaultConfig,
+    PrepareCrash,
     RetryPolicy,
     SiteCrash,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "FaultPlan",
     "FaultStats",
     "MessageFaultConfig",
+    "PrepareCrash",
     "RetryPolicy",
     "SiteCrash",
     "SiteChannel",

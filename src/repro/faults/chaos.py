@@ -34,6 +34,7 @@ from repro.mdbs.simulator import (
     SimulationReport,
 )
 from repro.mdbs.verification import (
+    AtomicityReport,
     ExactlyOnceReport,
     VerificationReport,
     check_exactly_once,
@@ -64,6 +65,12 @@ class ChaosOptions:
     downtime: float = 25.0
     crash_window: Tuple[float, float] = (20.0, 400.0)
     horizon: float = 100_000.0
+    #: presumed-abort 2PC (repro.commit); off by default so existing
+    #: seeds replay the PR 1 behaviour byte-identically
+    atomic_commit: bool = False
+    #: crashes keyed to 2PC progress (site down right after its n-th
+    #: YES vote); only drawn when > 0, so legacy plans are unchanged
+    prepare_crash_count: int = 0
 
 
 @dataclass
@@ -75,6 +82,7 @@ class ChaosResult:
     report: SimulationReport
     verification: VerificationReport
     exactly_once: ExactlyOnceReport
+    atomicity: AtomicityReport
     #: the event loop drained and every global was resolved
     terminated: bool
     #: logical transactions neither committed nor reported failed
@@ -85,6 +93,7 @@ class ChaosResult:
         return (
             self.verification.ok
             and self.exactly_once.ok
+            and self.atomicity.ok
             and self.terminated
         )
 
@@ -100,6 +109,11 @@ class ChaosResult:
             )
         if self.exactly_once.lost:
             reasons.append(f"lost commits: {self.exactly_once.lost}")
+        if self.atomicity.atomic_commit and self.atomicity.partial_commits:
+            reasons.append(
+                f"partial commits under 2PC: "
+                f"{self.atomicity.partial_commits}"
+            )
         if not self.terminated:
             reasons.append(f"did not terminate (unresolved {self.unresolved})")
         return tuple(reasons)
@@ -129,6 +143,7 @@ def build_chaos_simulator(
         gtm_crash_count=options.gtm_crash_count,
         site_crash_count=options.site_crash_count,
         downtime=options.downtime,
+        prepare_crash_count=options.prepare_crash_count,
     )
     simulator = MDBSSimulator(
         sites,
@@ -137,6 +152,7 @@ def build_chaos_simulator(
         seed=seed,
         injector=FaultInjector(plan),
         scheme_factory=lambda: make_scheme(options.scheme),
+        atomic_commit=options.atomic_commit,
     )
     for index, program in enumerate(
         workload.global_batch(options.global_txns)
@@ -153,6 +169,7 @@ def run_chaos(options: ChaosOptions, seed: int) -> ChaosResult:
     report = simulator.run()
     verification = verify(simulator.global_schedule(), simulator.ser_schedule)
     exactly_once = simulator.exactly_once_report()
+    atomicity = simulator.atomicity_report()
     resolved = set(simulator.committed_global) | set(simulator.failed_global)
     unresolved = tuple(
         sorted(
@@ -168,6 +185,7 @@ def run_chaos(options: ChaosOptions, seed: int) -> ChaosResult:
         report=report,
         verification=verification,
         exactly_once=exactly_once,
+        atomicity=atomicity,
         terminated=terminated,
         unresolved=unresolved,
     )

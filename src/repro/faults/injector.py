@@ -47,6 +47,10 @@ class SiteChannel:
         self._inflight: Set[int] = set()
         #: completed submissions: seq -> (value, aborted)
         self._results: Dict[int, Tuple[Any, bool]] = {}
+        #: 2PC control messages (PREPARE/DECIDE) use their own ledger:
+        #: same idempotency rules, but results are single values
+        self._control_inflight: Set[int] = set()
+        self._control_results: Dict[int, Any] = {}
 
     def deliver(
         self,
@@ -94,6 +98,44 @@ class SiteChannel:
             read_set=read_set,
             write_set=write_set,
         )
+
+    def deliver_control(
+        self,
+        seq: int,
+        execute: Callable[[Callable[[Any], None]], None],
+        on_result: Callable[[Any, bool], None],
+    ) -> None:
+        """Deliver one copy of 2PC control message *seq* (PREPARE or
+        DECIDE); execute at most once.  *execute* receives a ``done``
+        continuation it must call exactly once with the result —
+        synchronously (a vote) or later (a commit decision applying).
+        ``on_result(result, replayed)`` fires per delivered copy."""
+        if seq in self._control_results:
+            self.stats.cached_acks_replayed += 1
+            on_result(self._control_results[seq], True)
+            return
+        if seq in self._control_inflight:
+            self.stats.duplicate_deliveries_suppressed += 1
+            return
+        self._control_inflight.add(seq)
+
+        def done(result: Any) -> None:
+            if seq not in self._control_inflight:
+                # a crash cancelled this execution; the retry protocol
+                # will re-deliver and re-execute
+                return
+            self._control_inflight.discard(seq)
+            self._control_results[seq] = result
+            on_result(result, False)
+
+        execute(done)
+
+    def on_crash(self) -> None:
+        """The site crashed: in-flight control executions die with it
+        (their ``done`` continuations are disarmed above), so retries
+        after restart re-execute instead of waiting forever.  Completed
+        results survive — the ledger models the durable server stub."""
+        self._control_inflight.clear()
 
 
 class FaultInjector:

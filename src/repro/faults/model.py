@@ -85,6 +85,28 @@ class SiteCrash:
             raise FaultConfigError(f"negative time in {self!r}")
 
 
+@dataclass(frozen=True)
+class PrepareCrash:
+    """A site crash scheduled *relative to 2PC progress*: the site goes
+    down right after casting its *after_prepares*-th YES vote, i.e. in
+    the window between prepare and decision — the classic in-doubt
+    crash the cooperative termination protocol exists for.  Only
+    meaningful when the simulator runs with ``atomic_commit=True``."""
+
+    site: str
+    #: crash after this many YES votes at the site (1-based)
+    after_prepares: int = 1
+    downtime: float = 25.0
+
+    def validate(self) -> None:
+        if self.after_prepares < 1:
+            raise FaultConfigError(
+                f"after_prepares must be >= 1, got {self.after_prepares}"
+            )
+        if self.downtime < 0:
+            raise FaultConfigError(f"negative downtime in {self!r}")
+
+
 @dataclass
 class RetryPolicy:
     """Ack-timeout and retry behaviour of one resilient server link.

@@ -9,11 +9,17 @@ bit-identical, which is what makes chaos findings replayable.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Any, Mapping, Sequence, Tuple
 
-from repro.faults.model import FaultConfigError, MessageFaultConfig, SiteCrash
+from repro.faults.model import (
+    FaultConfigError,
+    MessageFaultConfig,
+    PrepareCrash,
+    SiteCrash,
+)
 
 
 @dataclass(frozen=True)
@@ -25,6 +31,10 @@ class FaultPlan:
     #: simulation times at which GTM2 crashes (state wiped, journal kept)
     gtm_crashes: Tuple[float, ...] = ()
     site_crashes: Tuple[SiteCrash, ...] = ()
+    #: site crashes keyed to 2PC progress rather than wall-clock time:
+    #: the site goes dark right after its n-th YES vote (ignored unless
+    #: the simulator runs with ``atomic_commit=True``)
+    crash_after_prepare: Tuple[PrepareCrash, ...] = ()
 
     def validate(self) -> None:
         self.messages.validate()
@@ -32,6 +42,8 @@ class FaultPlan:
             if at < 0:
                 raise FaultConfigError(f"negative GTM crash time {at}")
         for crash in self.site_crashes:
+            crash.validate()
+        for crash in self.crash_after_prepare:
             crash.validate()
 
     @property
@@ -41,6 +53,7 @@ class FaultPlan:
             not self.messages.any_enabled
             and not self.gtm_crashes
             and not self.site_crashes
+            and not self.crash_after_prepare
         )
 
     @classmethod
@@ -48,6 +61,45 @@ class FaultPlan:
         """A plan that injects nothing (used to certify that the fault
         machinery itself does not perturb outcomes)."""
         return cls(seed=seed)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from a plain mapping (config files, CLI glue),
+        rejecting unknown keywords with a clean error instead of the
+        silent-ignore a ``dict(**mapping)`` splat would give.  Nested
+        entries may be mappings (``messages``) or sequences of mappings
+        (``site_crashes``, ``crash_after_prepare``)."""
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(mapping) - valid)
+        if unknown:
+            raise FaultConfigError(
+                f"unknown fault-plan keyword(s) {unknown}; "
+                f"valid keywords: {sorted(valid)}"
+            )
+
+        def build(factory, value):
+            return factory(**value) if isinstance(value, Mapping) else value
+
+        kwargs: dict = dict(mapping)
+        if "messages" in kwargs:
+            kwargs["messages"] = build(MessageFaultConfig, kwargs["messages"])
+        if "gtm_crashes" in kwargs:
+            kwargs["gtm_crashes"] = tuple(kwargs["gtm_crashes"])
+        if "site_crashes" in kwargs:
+            kwargs["site_crashes"] = tuple(
+                build(SiteCrash, crash) for crash in kwargs["site_crashes"]
+            )
+        if "crash_after_prepare" in kwargs:
+            kwargs["crash_after_prepare"] = tuple(
+                build(PrepareCrash, crash)
+                for crash in kwargs["crash_after_prepare"]
+            )
+        try:
+            plan = cls(**kwargs)
+        except TypeError as exc:
+            raise FaultConfigError(f"malformed fault plan: {exc}") from exc
+        plan.validate()
+        return plan
 
     @classmethod
     def random(
@@ -61,10 +113,14 @@ class FaultPlan:
         gtm_crash_count: int = 1,
         site_crash_count: int = 1,
         downtime: float = 25.0,
+        prepare_crash_count: int = 0,
     ) -> "FaultPlan":
         """Draw a randomized schedule: crash instants uniform in *window*,
         crashing sites drawn uniformly from *sites*.  Fully determined by
-        *seed*."""
+        *seed*.  ``prepare_crash_count`` draws 2PC-progress-keyed crashes
+        (site after its n-th YES vote, n uniform in 1..3); it defaults to
+        0 and its draws come *after* all legacy draws, so plans built
+        with the default are byte-identical to pre-2PC plans."""
         rng = random.Random(seed)
         start, end = window
         if end <= start:
@@ -85,6 +141,14 @@ class FaultPlan:
                 key=lambda crash: (crash.at, crash.site),
             )
         )
+        crash_after_prepare = tuple(
+            PrepareCrash(
+                site=rng.choice(list(sites)),
+                after_prepares=rng.randint(1, 3),
+                downtime=downtime,
+            )
+            for _ in range(prepare_crash_count)
+        )
         plan = cls(
             seed=seed,
             messages=MessageFaultConfig(
@@ -94,6 +158,7 @@ class FaultPlan:
             ),
             gtm_crashes=gtm_crashes,
             site_crashes=site_crashes,
+            crash_after_prepare=crash_after_prepare,
         )
         plan.validate()
         return plan

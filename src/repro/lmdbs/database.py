@@ -84,6 +84,9 @@ class LocalDBMS:
         #: counts for metrics: how many submissions blocked / aborted
         self.blocked_count = 0
         self.aborted_count = 0
+        #: non-forced aborts refused because the target was prepared
+        #: (2PC in-doubt transactions die only by coordinator decision)
+        self.prepared_abort_refusals = 0
         #: listeners invoked as ``listener(transaction_id, reason)`` on
         #: every transaction abort at this site (the GTM subscribes to
         #: learn about aborts of its subtransactions, e.g. deadlock
@@ -200,10 +203,17 @@ class LocalDBMS:
             unblocked=tuple(unblocked),
         )
 
-    def abort_transaction(self, transaction_id: str, reason: str = "") -> Tuple[str, ...]:
+    def abort_transaction(
+        self, transaction_id: str, reason: str = "", force: bool = False
+    ) -> Tuple[str, ...]:
         """Externally abort a transaction (used by the GTM to kill a
-        global subtransaction, e.g. when it aborted at another site)."""
-        aborted = self._perform_abort(transaction_id, reason or "external abort")
+        global subtransaction, e.g. when it aborted at another site).
+        ``force`` carries a 2PC coordinator decision: it is the only way
+        to abort a *prepared* transaction (see :meth:`_perform_abort`).
+        """
+        aborted = self._perform_abort(
+            transaction_id, reason or "external abort", force=force
+        )
         unblocked: List[str] = []
         self._drain_wakes([], unblocked, aborted)
         return tuple(aborted)
@@ -291,13 +301,26 @@ class LocalDBMS:
             for item in sorted(self.storage.write_set(transaction_id))
         ]
 
-    def _perform_abort(self, transaction_id: str, reason: str) -> List[str]:
-        """Abort a transaction: storage, protocol, pending op, history."""
+    def _perform_abort(
+        self, transaction_id: str, reason: str, force: bool = False
+    ) -> List[str]:
+        """Abort a transaction: storage, protocol, pending op, history.
+
+        A *prepared* transaction (2PC YES vote on record) is in doubt:
+        it promised the coordinator it can commit, so every non-forced
+        abort — deadlock victims, watchdog kills, orphan sweeps — is
+        refused until a coordinator decision (``force=True``) arrives.
+        This is 2PC's blocking window, made explicit.
+        """
         if (
             transaction_id not in self._active
             and transaction_id not in self._pending
         ):
             return []
+        if not force and self.history.is_prepared(transaction_id):
+            self.prepared_abort_refusals += 1
+            return []
+        self.history.clear_prepared(transaction_id)
         pending = self._pending.pop(transaction_id, None)
         self.protocol.cancel_waiting(transaction_id)
         wake = self.protocol.on_abort(transaction_id)
@@ -357,13 +380,29 @@ class LocalDBMS:
         blocked) is aborted — volatile state is lost — while committed
         storage and the history log survive (they are the durable
         ground truth).  The site answers nothing until :meth:`restart`.
+
+        *Prepared* transactions (2PC) are the exception: their prepared
+        record is force-logged, so the crash must not abort them — the
+        local recovery that reinstates them from that record is modelled
+        as their state simply surviving.  Only their parked operation
+        (a blocked commit, necessarily volatile) is dropped; a retried
+        decision re-submits it after restart.
         """
         self.crash_count += 1
         self.available = False
-        in_flight = list(self._pending) + [
+        for transaction_id in list(self._pending):
+            if self.history.is_prepared(transaction_id):
+                self._pending.pop(transaction_id)
+                self.protocol.cancel_waiting(transaction_id)
+        in_flight = [
+            transaction_id
+            for transaction_id in self._pending
+            if not self.history.is_prepared(transaction_id)
+        ] + [
             transaction_id
             for transaction_id in sorted(self._active)
             if transaction_id not in self._pending
+            and not self.history.is_prepared(transaction_id)
         ]
         aborted: List[str] = []
         for transaction_id in in_flight:

@@ -16,11 +16,20 @@ from repro.schedules.model import Operation, OpType, Schedule
 
 
 class HistoryLog:
-    """Execution-order log of one site's operations."""
+    """Execution-order log of one site's operations.
+
+    Besides the executed schedule, the log keeps the *prepared ledger*
+    of the atomic-commitment layer (:mod:`repro.commit`): a durable side
+    table of transactions that voted YES in 2PC phase 1.  Prepared marks
+    model the force-written prepared record — they survive site crashes
+    — but they are bookkeeping, not operations: they never enter the
+    schedule and are invisible to serializability verification.
+    """
 
     def __init__(self, site: str) -> None:
         self.site = site
         self._schedule = Schedule()
+        self._prepared: Dict[str, None] = {}
 
     def record(self, operation: Operation) -> Operation:
         return self._schedule.append(operation)
@@ -43,6 +52,23 @@ class HistoryLog:
             if operation.op_type in (OpType.COMMIT, OpType.ABORT):
                 outcome = operation.op_type
         return outcome
+
+    # ------------------------------------------------------------------
+    # 2PC prepared ledger (durable; see repro.commit.participant)
+    # ------------------------------------------------------------------
+    def mark_prepared(self, transaction_id: str) -> None:
+        self._prepared[transaction_id] = None
+
+    def clear_prepared(self, transaction_id: str) -> None:
+        self._prepared.pop(transaction_id, None)
+
+    def is_prepared(self, transaction_id: str) -> bool:
+        return transaction_id in self._prepared
+
+    @property
+    def prepared_transactions(self) -> Tuple[str, ...]:
+        """Prepared-but-undecided transactions, in prepare order."""
+        return tuple(self._prepared)
 
     def __len__(self) -> int:
         return len(self._schedule)

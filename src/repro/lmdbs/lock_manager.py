@@ -132,7 +132,10 @@ class LockManager:
         aborted while waiting).
         """
         granted: List[Tuple[str, str, LockMode]] = []
-        for item in list(self._held_by_txn.get(transaction_id, ())):
+        # sorted: the held-item collection is a set, and grant order here
+        # becomes the protocol's wake order — hash order would leak into
+        # outcomes and break cross-process replay of seeded runs
+        for item in sorted(self._held_by_txn.get(transaction_id, ())):
             for txn, mode in self.release(transaction_id, item):
                 granted.append((item, txn, mode))
         self._held_by_txn.pop(transaction_id, None)

@@ -111,6 +111,16 @@ class LocalScheduler:
         (rare), or GRANT with wake-ups (released locks)."""
         raise NotImplementedError
 
+    def on_prepare(self, transaction_id: str) -> Decision:
+        """2PC phase-1 request (:mod:`repro.commit`): can the site
+        *promise* to commit?  GRANT is a binding YES vote — the ensuing
+        ``on_commit`` must not fail.  The default GRANT is correct for
+        protocols whose commit cannot be refused once every operation
+        was granted (locking, timestamp ordering, SGT); protocols that
+        validate at commit (OCC) must override and validate here, so
+        that a YES vote really is a promise."""
+        return Decision.grant()
+
     def on_abort(self, transaction_id: str) -> Tuple[str, ...]:
         """Clean up after an abort (the database already decided it);
         returns transactions to wake."""

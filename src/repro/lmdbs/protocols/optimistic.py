@@ -38,6 +38,9 @@ class OptimisticConcurrencyControl(LocalScheduler):
         self._start_index: Dict[str, int] = {}
         self._read_sets: Dict[str, Set[str]] = {}
         self._write_sets: Dict[str, Set[str]] = {}
+        #: transactions that validated early via ``on_prepare`` (2PC):
+        #: their commit is a promise-keeping formality, never re-validated
+        self._prepared: Set[str] = set()
         #: validation failures (metrics)
         self.rejections = 0
 
@@ -72,8 +75,8 @@ class OptimisticConcurrencyControl(LocalScheduler):
         self._write_sets[transaction_id].add(item)
         return Decision.grant()
 
-    def on_commit(self, transaction_id: str) -> Decision:
-        self._require_active(transaction_id)
+    def _validate(self, transaction_id: str) -> Optional[Decision]:
+        """Backward validation; a kill Decision on conflict, else None."""
         start = self._start_index[transaction_id]
         read_set = self._read_sets[transaction_id]
         for other, other_writes in self._validated[start:]:
@@ -86,13 +89,51 @@ class OptimisticConcurrencyControl(LocalScheduler):
                     f"validation failed: read {sorted(overlap)} written by "
                     f"concurrently committed {other!r}",
                 )
+        return None
+
+    def on_commit(self, transaction_id: str) -> Decision:
+        self._require_active(transaction_id)
+        if transaction_id in self._prepared:
+            # validated at prepare time; the write set is already
+            # installed — committing keeps the promise, nothing to check
+            self._prepared.discard(transaction_id)
+            self._cleanup(transaction_id)
+            return Decision.grant()
+        failure = self._validate(transaction_id)
+        if failure is not None:
+            return failure
         self._validated.append(
             (transaction_id, frozenset(self._write_sets[transaction_id]))
         )
         self._cleanup(transaction_id)
         return Decision.grant()
 
+    def on_prepare(self, transaction_id: str) -> Decision:
+        """2PC phase 1: validation *is* the promise, so it runs here.
+        On success the write set is installed immediately — transactions
+        validating later must serialize after this one even before the
+        commit decision arrives (the in-doubt window)."""
+        self._require_active(transaction_id)
+        failure = self._validate(transaction_id)
+        if failure is not None:
+            return failure
+        self._validated.append(
+            (transaction_id, frozenset(self._write_sets[transaction_id]))
+        )
+        self._prepared.add(transaction_id)
+        return Decision.grant()
+
     def on_abort(self, transaction_id: str) -> Tuple[str, ...]:
+        if transaction_id in self._prepared:
+            # a prepared transaction's installed write set is revoked by
+            # tombstoning it in place (an empty write set conflicts with
+            # nothing); deleting the entry would shift the start indexes
+            # other transactions snapshotted
+            self._prepared.discard(transaction_id)
+            for index in range(len(self._validated) - 1, -1, -1):
+                if self._validated[index][0] == transaction_id:
+                    self._validated[index] = (transaction_id, frozenset())
+                    break
         self._cleanup(transaction_id)
         return ()
 

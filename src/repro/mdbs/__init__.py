@@ -10,9 +10,11 @@ from repro.mdbs.simulator import (
     SimulationReport,
 )
 from repro.mdbs.verification import (
+    AtomicityReport,
     ExactlyOnceReport,
     VerificationReport,
     assert_verified,
+    check_atomicity,
     check_exactly_once,
     committed_ser_projection,
     serialization_order_consistent,
@@ -29,9 +31,11 @@ __all__ = [
     "MDBSSimulator",
     "SimulationConfig",
     "SimulationReport",
+    "AtomicityReport",
     "ExactlyOnceReport",
     "VerificationReport",
     "assert_verified",
+    "check_atomicity",
     "check_exactly_once",
     "committed_ser_projection",
     "serialization_order_consistent",

@@ -108,6 +108,44 @@ class Server:
 
         self.loop.schedule(self.latencies.message_delay, deliver)
 
+    # ------------------------------------------------------------------
+    # 2PC control messages (repro.commit)
+    # ------------------------------------------------------------------
+    def prepare(
+        self, participant, completion: Callable[[bool], None]
+    ) -> None:
+        """Phase 1: ask the site's participant for a vote; *completion*
+        receives it (True = YES) after the round trip."""
+
+        def deliver() -> None:
+            vote = participant.on_prepare(self.transaction_id)
+            delay = self.latencies.message_delay + (
+                self.latencies.service_time if vote else 0.0
+            )
+            self.loop.schedule(delay, lambda: completion(vote))
+
+        self.loop.schedule(self.latencies.message_delay, deliver)
+
+    def decide(
+        self,
+        participant,
+        commit: bool,
+        completion: Callable[[bool], None],
+    ) -> None:
+        """Phase 2: deliver the coordinator's decision; *completion*
+        receives the participant's ack (True = decision applied)."""
+
+        def deliver() -> None:
+            def acked(ok: bool) -> None:
+                delay = self.latencies.message_delay + (
+                    self.latencies.service_time if (ok and commit) else 0.0
+                )
+                self.loop.schedule(delay, lambda: completion(ok))
+
+            participant.on_decide(self.transaction_id, commit, acked)
+
+        self.loop.schedule(self.latencies.message_delay, deliver)
+
 
 class ResilientServer(Server):
     """A server link that survives message loss, duplication, delay, and
@@ -238,3 +276,120 @@ class ResilientServer(Server):
 
         for extra in self.injector.message_fate():
             self.loop.schedule(self.latencies.message_delay + extra, deliver)
+
+    # ------------------------------------------------------------------
+    # 2PC control messages (repro.commit), fault-tolerant variant
+    # ------------------------------------------------------------------
+    def prepare(
+        self, participant, completion: Callable[[bool], None]
+    ) -> None:
+        """Phase 1 over a faulty link.  Retries are *bounded*: under
+        presumed abort a coordinator that never hears a vote simply
+        decides abort, so giving up is reported as a NO vote."""
+        self._control_round(
+            execute=lambda done: done(
+                participant.on_prepare(self.transaction_id)
+            ),
+            completion=completion,
+            charge_service=lambda result: bool(result),
+            unbounded=False,
+            give_up_result=False,
+        )
+
+    def decide(
+        self,
+        participant,
+        commit: bool,
+        completion: Callable[[bool], None],
+    ) -> None:
+        """Phase 2 over a faulty link.  Commit decisions are retried
+        without bound (the decision is logged; abandoning delivery could
+        leave a prepared participant blocked forever); abort decisions
+        are cheap to re-send too, so the same loop serves both."""
+        self._control_round(
+            execute=lambda done: participant.on_decide(
+                self.transaction_id, commit, done
+            ),
+            completion=completion,
+            charge_service=lambda result: bool(result) and commit,
+            unbounded=True,
+            give_up_result=False,
+        )
+
+    def _control_round(
+        self,
+        execute: Callable[[Callable[[Any], None]], None],
+        completion: Callable[[Any], None],
+        charge_service: Callable[[Any], bool],
+        unbounded: bool,
+        give_up_result: Any,
+    ) -> None:
+        """One idempotent control exchange: sequence number, per-leg
+        message fates, exactly-once execution via the site channel's
+        control ledger, ack timeout with capped backoff."""
+        seq = self.injector.next_seq()
+        channel = self.injector.channel(self.db.site)
+        attempt = {"count": 0}
+
+        def finish(result: Any) -> None:
+            if self._done:
+                return
+            self._done = True
+            if self._timer is not None:
+                self._timer.cancel()
+            completion(result)
+
+        def on_result(result: Any, replayed: bool) -> None:
+            service = (
+                self.latencies.service_time
+                if (charge_service(result) and not replayed)
+                else 0.0
+            )
+            for extra in self.injector.message_fate():
+                self.loop.schedule(
+                    service + self.latencies.message_delay + extra,
+                    lambda r=result: finish(r),
+                )
+
+        def deliver_copy() -> None:
+            if self._done:
+                return
+            if not self.db.available or self.injector.site_down(
+                self.db.site, self.loop.now
+            ):
+                return  # the site is dark; the ack timeout covers us
+            channel.deliver_control(seq, execute, on_result)
+
+        def send() -> None:
+            attempt["count"] += 1
+            if attempt["count"] > 1:
+                self.injector.stats.retries += 1
+            for extra in self.injector.message_fate():
+                self.loop.schedule(
+                    self.latencies.message_delay + extra, deliver_copy
+                )
+            arm_timeout()
+
+        def arm_timeout() -> None:
+            timeout = self.injector.jitter(
+                self.retry.timeout_for(attempt["count"]), self.retry.jitter
+            )
+
+            def on_timeout() -> None:
+                if self._done:
+                    return
+                if self.still_wanted is not None and not self.still_wanted():
+                    return
+                self.injector.stats.timeouts += 1
+                if (
+                    not unbounded
+                    and attempt["count"] >= self.retry.max_attempts
+                ):
+                    self.injector.stats.give_ups += 1
+                    finish(give_up_result)
+                    return
+                send()
+
+            self._timer = self.loop.schedule(timeout, on_timeout)
+
+        send()

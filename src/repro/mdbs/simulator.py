@@ -42,6 +42,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.commit import (
+    CommitParticipant,
+    CommitPolicy,
+    CommitStats,
+    TwoPhaseCoordinator,
+)
 from repro.core.engine import Engine
 from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.gtm import GlobalProgram, PlannedOp, STRATEGY_BY_PROTOCOL, plan_program
@@ -90,6 +96,9 @@ class SimulationConfig:
     #: reaping the incarnation's leftovers at the sites (covers the
     #: in-flight abort messages); None = max(4 * message_delay, 10)
     orphan_grace: Optional[float] = None
+    #: participant-side 2PC timing (in-doubt window, termination
+    #: backoff); consulted only when ``atomic_commit`` is enabled
+    commit: CommitPolicy = field(default_factory=CommitPolicy)
 
     def validate(self) -> None:
         if self.latencies.message_delay < 0:
@@ -109,6 +118,7 @@ class SimulationConfig:
         if self.orphan_grace is not None and self.orphan_grace < 0:
             raise SimulationError("orphan_grace must be >= 0")
         self.retry.validate()
+        self.commit.validate()
 
     @property
     def effective_orphan_grace(self) -> float:
@@ -150,6 +160,13 @@ class SimulationReport:
     site_crashes: int = 0
     quarantined_sites: Tuple[str, ...] = ()
     fault_stats: Optional[FaultStats] = None
+    #: atomic-commitment outcome (defaults without ``atomic_commit``)
+    atomic_commit: bool = False
+    commit_stats: Optional[CommitStats] = None
+    #: decide-commit → all-sites-acked latencies, per committed global
+    commit_latencies: Tuple[float, ...] = ()
+    #: resolved in-doubt window lengths across all participants (E11)
+    in_doubt_times: Tuple[float, ...] = ()
 
     @property
     def throughput(self) -> float:
@@ -188,6 +205,7 @@ class MDBSSimulator:
         seed: int = 0,
         injector: Optional[FaultInjector] = None,
         scheme_factory: Optional[Callable[[], ConservativeScheme]] = None,
+        atomic_commit: bool = False,
     ) -> None:
         self.sites = dict(sites)
         self.scheme = scheme
@@ -199,8 +217,15 @@ class MDBSSimulator:
         #: servers, GTM2 keeps a journal, and the plan's crash schedule is
         #: executed; when None the simulator behaves exactly as before
         self.injector = injector
+        #: presumed-abort 2PC (repro.commit): per-site commits become
+        #: PREPARE votes and the coordinator issues logged decisions;
+        #: when False every 2PC path is skipped and runs are
+        #: byte-identical to the pre-2PC simulator
+        self.atomic_commit = atomic_commit
         self._scheme_factory = scheme_factory or (lambda: type(scheme)())
-        self._journal = Journal() if injector is not None else None
+        self._journal = (
+            Journal() if (injector is not None or atomic_commit) else None
+        )
         self.engine = Engine(
             scheme,
             submit_handler=self._execute_ser,
@@ -233,6 +258,40 @@ class MDBSSimulator:
         #: per-site monotone ticket counters (release order is
         #: authoritative under the one-outstanding-per-site rule)
         self._ticket_counters: Dict[str, int] = {}
+        # --- atomic-commitment layer (repro.commit) ---
+        self.commit_stats = CommitStats() if atomic_commit else None
+        self.coordinator = (
+            TwoPhaseCoordinator(self._journal, self.commit_stats)
+            if atomic_commit
+            else None
+        )
+        self.participants: Dict[str, CommitParticipant] = {}
+        if atomic_commit:
+            fate = (
+                self.injector.message_fate
+                if self.injector is not None
+                else None
+            )
+            for site, db in self.sites.items():
+                self.participants[site] = CommitParticipant(
+                    site,
+                    db,
+                    self.loop,
+                    policy=self.config.commit,
+                    stats=self.commit_stats,
+                    coordinator_resolver=self._resolve_inquiry,
+                    message_delay=self.config.latencies.message_delay,
+                    fate=fate,
+                    on_yes_vote=self._on_yes_vote,
+                )
+            for participant in self.participants.values():
+                participant.peers = self.participants
+        #: decision phase in flight: incarnation -> sites not yet acked
+        self._deciding: Dict[str, Set[str]] = {}
+        #: decide-commit latencies of committed globals (E11)
+        self.commit_latencies: List[float] = []
+        #: indexes of crash_after_prepare entries already fired
+        self._prepare_crashes_fired: Set[int] = set()
         # learn about local aborts of our subtransactions even when they
         # had no operation in flight at the aborting site (e.g. wounded
         # as an active lock holder under wound-wait)
@@ -276,6 +335,18 @@ class MDBSSimulator:
             if stats.response_time is not None
         )
         stats = self.injector.stats if self.injector is not None else None
+        in_doubt: Tuple[float, ...] = ()
+        if self.commit_stats is not None:
+            # the database-side refusal counters live with the sites;
+            # fold them into the commit stats at report time
+            self.commit_stats.prepared_abort_refusals = sum(
+                db.prepared_abort_refusals for db in self.sites.values()
+            )
+            in_doubt = tuple(
+                window
+                for site in sorted(self.participants)
+                for window in self.participants[site].in_doubt_times
+            )
         return SimulationReport(
             duration=self.loop.now,
             committed_global=len(self.committed_global),
@@ -291,6 +362,10 @@ class MDBSSimulator:
             site_crashes=stats.site_crashes if stats else 0,
             quarantined_sites=tuple(sorted(self.quarantined)),
             fault_stats=stats,
+            atomic_commit=self.atomic_commit,
+            commit_stats=self.commit_stats,
+            commit_latencies=tuple(self.commit_latencies),
+            in_doubt_times=in_doubt,
         )
 
     def _watchdog_interval(self) -> float:
@@ -362,6 +437,17 @@ class MDBSSimulator:
             new_journal=self._journal,
         )
         self.scheme = fresh
+        if self.coordinator is not None:
+            # the coordinator's volatile state dies with GTM2; rebuild
+            # the decided-commit set from the journal's force-logged
+            # decisions, then re-open the voting rounds of incarnations
+            # GTM1 still tracks (its bookkeeping survives) so in-doubt
+            # inquiries made mid-vote are not prematurely presumed abort
+            self.coordinator = TwoPhaseCoordinator.recover(
+                self._journal, self.commit_stats
+            )
+            for incarnation in self._runtimes:
+                self.coordinator.begin_voting(incarnation)
         self.gtm_recovery_times.append(time.perf_counter() - started)
         # outstanding (logged-but-unprocessed) operations were re-queued
         # by recovery with side effects suppressed; process them live now
@@ -377,6 +463,11 @@ class MDBSSimulator:
         self.injector.stats.site_crashes += 1
         self.injector.mark_down(crash.site, self.loop.now + crash.downtime)
         db.crash(f"site {crash.site!r} crashed")
+        if self.atomic_commit:
+            # volatile participant state and in-flight control
+            # executions die with the site; prepared records survive
+            self.participants[crash.site].on_crash()
+            self.injector.channel(crash.site).on_crash()
         if db.crash_count >= self.config.quarantine_after_crashes:
             self._quarantine(crash.site)
         self.loop.schedule(
@@ -387,6 +478,10 @@ class MDBSSimulator:
         self.sites[site].restart()
         if self.injector is not None:
             self.injector.mark_up(site)
+        if self.atomic_commit:
+            # recovery inquiry: prepared records found in the durable
+            # log immediately run a termination round
+            self.participants[site].on_restart()
 
     def _quarantine(self, site: str) -> None:
         """Take a repeatedly-crashing site out of service: abort the
@@ -416,7 +511,16 @@ class MDBSSimulator:
                 if aborted_at is None or transaction_id in self._runtimes:
                     continue
                 if now - aborted_at >= grace:
-                    db.abort_transaction(transaction_id, "orphan sweep")
+                    if self.atomic_commit:
+                        # the GTM aborted this incarnation, so the
+                        # coordinator's decision *is* abort (presumed);
+                        # deliver it through the participant so even a
+                        # prepared leftover is resolved force-aborted
+                        self.participants[db.site].on_decide(
+                            transaction_id, False, lambda ok: None
+                        )
+                    else:
+                        db.abort_transaction(transaction_id, "orphan sweep")
                     self.injector.stats.orphans_reaped += 1
 
     # ------------------------------------------------------------------
@@ -434,7 +538,7 @@ class MDBSSimulator:
         incarnation was aborted (the uncertainty window that would
         otherwise duplicate effects)."""
         committed = set(self._committed_sites.get(logical, set()))
-        if self.injector is None:
+        if self.injector is None and not self.atomic_commit:
             return committed
         incarnations = [logical] + [
             f"{logical}#{attempt}"
@@ -476,12 +580,19 @@ class MDBSSimulator:
         runtime = _GlobalRuntime(
             program=program,
             incarnation=incarnation,
-            plan=plan_program(program, incarnation, self._strategy_for),
+            plan=plan_program(
+                program,
+                incarnation,
+                self._strategy_for,
+                atomic_commit=self.atomic_commit,
+            ),
             acks_outstanding=set(program.sites),
             last_progress=self.loop.now,
         )
         self._runtimes[incarnation] = runtime
         self._stats[logical].restarts = count
+        if self.coordinator is not None:
+            self.coordinator.begin_voting(incarnation)
         self.engine.enqueue(Init(incarnation, sites=program.sites))
         self.engine.run()
         self._issue_next(runtime)
@@ -504,43 +615,67 @@ class MDBSSimulator:
     def _submit_through_server(
         self, runtime: _GlobalRuntime, planned: PlannedOp
     ) -> None:
+        if planned.is_prepare:
+            self._send_prepare(runtime, planned)
+            return
         incarnation = runtime.incarnation
         db = self.sites[planned.operation.site]
 
         def completion(operation: Operation, value: Any, aborted: bool) -> None:
             self._on_completion(incarnation, operation, value, aborted)
 
-        if self.injector is None:
-            server: Server = Server(
-                incarnation, db, self.loop, self.config.latencies
-            )
-        else:
-
-            def still_wanted() -> bool:
-                # the GTM cares about this submission only while the
-                # incarnation is alive and still at this plan step
-                return (
-                    not runtime.done
-                    and runtime.cursor < len(runtime.plan)
-                    and runtime.plan[runtime.cursor].operation
-                    is planned.operation
-                )
-
-            server = ResilientServer(
-                incarnation,
-                db,
-                self.loop,
-                self.config.latencies,
-                self.injector,
-                retry=self.config.retry,
-                still_wanted=still_wanted,
-            )
+        server = self._make_server(runtime, planned)
         server.submit(
             planned.operation,
             completion,
             read_set=planned.read_set,
             write_set=planned.write_set,
         )
+
+    def _make_server(
+        self, runtime: _GlobalRuntime, planned: PlannedOp
+    ) -> Server:
+        incarnation = runtime.incarnation
+        db = self.sites[planned.operation.site]
+        if self.injector is None:
+            return Server(incarnation, db, self.loop, self.config.latencies)
+
+        def still_wanted() -> bool:
+            # the GTM cares about this submission only while the
+            # incarnation is alive and still at this plan step
+            return (
+                not runtime.done
+                and runtime.cursor < len(runtime.plan)
+                and runtime.plan[runtime.cursor].operation
+                is planned.operation
+            )
+
+        return ResilientServer(
+            incarnation,
+            db,
+            self.loop,
+            self.config.latencies,
+            self.injector,
+            retry=self.config.retry,
+            still_wanted=still_wanted,
+        )
+
+    def _send_prepare(
+        self, runtime: _GlobalRuntime, planned: PlannedOp
+    ) -> None:
+        """Phase 1 of 2PC: the plan's final per-site COMMIT travels as a
+        PREPARE request; the vote flows back through the normal
+        completion path (NO = the subtransaction aborted there)."""
+        incarnation = runtime.incarnation
+        participant = self.participants[planned.operation.site]
+        server = self._make_server(runtime, planned)
+
+        def completion(vote: bool) -> None:
+            self._on_completion(
+                incarnation, planned.operation, None, not vote
+            )
+
+        server.prepare(participant, completion)
 
     def _execute_ser(self, ser: Ser) -> None:
         """GTM2 released a ser-operation: submit it through the server."""
@@ -578,9 +713,12 @@ class MDBSSimulator:
         if (
             self.injector is not None
             and operation.op_type is OpType.COMMIT
+            and not planned.is_prepare
         ):
             # remember where the logical transaction has committed so a
             # restarted incarnation never re-applies its effects there
+            # (a prepare completion is only a YES vote, not a commit —
+            # under 2PC the decide phase records the committed sites)
             self._committed_sites.setdefault(
                 self._logical(incarnation), set()
             ).add(operation.site)
@@ -629,9 +767,72 @@ class MDBSSimulator:
             return
         runtime.done = True
         del self._runtimes[runtime.incarnation]
+        if self.coordinator is not None:
+            # every site voted YES: enter the decision phase; the
+            # transaction counts as committed the moment the decision is
+            # logged, but the stats close only when every site acked
+            self._begin_decide_commit(runtime)
+            return
         logical = self._logical(runtime.incarnation)
         self.committed_global.append(logical)
         self._stats[logical].committed_at = self.loop.now
+
+    def _begin_decide_commit(self, runtime: _GlobalRuntime) -> None:
+        """Phase 2 of 2PC (commit side): force-log the decision, then
+        deliver it to every participant; the global transaction is
+        reported committed when all sites acknowledged."""
+        incarnation = runtime.incarnation
+        self.coordinator.decide_commit(incarnation)
+        pending: Set[str] = set(runtime.program.sites)
+        self._deciding[incarnation] = pending
+        started = self.loop.now
+        logical = self._logical(incarnation)
+        for site in runtime.program.sites:
+
+            def completion(ok: bool, site: str = site) -> None:
+                if self._deciding.get(incarnation) is not pending:
+                    return  # stale ack from a superseded decide round
+                if ok:
+                    self._committed_sites.setdefault(logical, set()).add(
+                        site
+                    )
+                else:
+                    # a participant could not apply a COMMIT decision —
+                    # a soundness violation check_atomicity will surface
+                    # from the ground-truth histories
+                    self.commit_stats.decide_commit_nacks += 1
+                pending.discard(site)
+                if not pending:
+                    del self._deciding[incarnation]
+                    self.committed_global.append(logical)
+                    self._stats[logical].committed_at = self.loop.now
+                    self.commit_latencies.append(self.loop.now - started)
+
+            self._send_decide(incarnation, site, True, completion)
+
+    def _send_decide(
+        self,
+        incarnation: str,
+        site: str,
+        commit: bool,
+        completion: Callable[[bool], None],
+    ) -> None:
+        participant = self.participants[site]
+        db = self.sites[site]
+        if self.injector is None:
+            server: Server = Server(
+                incarnation, db, self.loop, self.config.latencies
+            )
+        else:
+            server = ResilientServer(
+                incarnation,
+                db,
+                self.loop,
+                self.config.latencies,
+                self.injector,
+                retry=self.config.retry,
+            )
+        server.decide(participant, commit, completion)
 
     def _logical(self, incarnation: str) -> str:
         return incarnation.split("#", 1)[0]
@@ -643,26 +844,35 @@ class MDBSSimulator:
         runtime.done = True
         self.global_aborts += 1
         self._aborted_at[incarnation] = self.loop.now
-        for site in runtime.program.sites:
-            if self.injector is None:
-                server: Server = Server(
-                    incarnation,
-                    self.sites[site],
-                    self.loop,
-                    self.config.latencies,
-                )
-            else:
-                # abort messages ride the same faulty network; a lost
-                # one leaves an orphan for the sweep to reap
-                server = ResilientServer(
-                    incarnation,
-                    self.sites[site],
-                    self.loop,
-                    self.config.latencies,
-                    self.injector,
-                    retry=self.config.retry,
-                )
-            server.abort(reason)
+        if self.coordinator is not None:
+            # presumed abort: close the voting round (no log record) and
+            # tell the participants best-effort; a lost decision is
+            # covered by the termination protocol (prepared sites) and
+            # the orphan sweep (unprepared leftovers)
+            self.coordinator.decide_abort(incarnation)
+            for site in runtime.program.sites:
+                self._send_abort_decision(incarnation, site)
+        else:
+            for site in runtime.program.sites:
+                if self.injector is None:
+                    server: Server = Server(
+                        incarnation,
+                        self.sites[site],
+                        self.loop,
+                        self.config.latencies,
+                    )
+                else:
+                    # abort messages ride the same faulty network; a lost
+                    # one leaves an orphan for the sweep to reap
+                    server = ResilientServer(
+                        incarnation,
+                        self.sites[site],
+                        self.loop,
+                        self.config.latencies,
+                        self.injector,
+                        retry=self.config.retry,
+                    )
+                server.abort(reason)
         self.engine.purge_transaction(incarnation)
         remover = getattr(self.scheme, "remove_transaction", None)
         if remover is not None:
@@ -677,6 +887,55 @@ class MDBSSimulator:
             )
         else:
             self.failed_global.append(logical)
+
+    # ------------------------------------------------------------------
+    # atomic-commitment plumbing (repro.commit)
+    # ------------------------------------------------------------------
+    def _send_abort_decision(self, incarnation: str, site: str) -> None:
+        """Fire-and-forget ABORT decision: presumed abort awaits no ack,
+        so one faulty send suffices — the termination protocol and the
+        orphan sweep mop up after a lost copy."""
+        participant = self.participants[site]
+        db = self.sites[site]
+        fates = (
+            self.injector.message_fate()
+            if self.injector is not None
+            else (0.0,)
+        )
+
+        def deliver() -> None:
+            if not db.available:
+                return  # the crash wiped it; recovery inquiry covers us
+            participant.on_decide(incarnation, False, lambda ok: None)
+
+        for extra in fates:
+            self.loop.schedule(
+                self.config.latencies.message_delay + extra, deliver
+            )
+
+    def _resolve_inquiry(self, incarnation: str) -> Optional[bool]:
+        """Coordinator half of an in-doubt participant's inquiry."""
+        return self.coordinator.resolve(incarnation)
+
+    def _on_yes_vote(self, site: str, count: int) -> None:
+        """Fault point: ``FaultPlan.crash_after_prepare`` schedules site
+        crashes keyed to 2PC progress — the site goes dark in the window
+        between its YES vote and the coordinator's decision."""
+        if self.injector is None:
+            return
+        for index, crash in enumerate(
+            self.injector.plan.crash_after_prepare
+        ):
+            if index in self._prepare_crashes_fired:
+                continue
+            if crash.site == site and crash.after_prepares == count:
+                self._prepare_crashes_fired.add(index)
+                self.loop.schedule(
+                    0.0,
+                    lambda s=site, d=crash.downtime: self._crash_site(
+                        SiteCrash(site=s, at=self.loop.now, downtime=d)
+                    ),
+                )
 
     # ------------------------------------------------------------------
     # local transactions (invisible to the GTM)
@@ -763,4 +1022,21 @@ class MDBSSimulator:
                 for logical, program in self._programs.items()
             },
             reported_failed=self.failed_global,
+        )
+
+    def atomicity_report(self):
+        """Atomicity verdict from ground truth: with ``atomic_commit``
+        enabled, partial commits are hard violations (see
+        :func:`repro.mdbs.verification.check_atomicity`)."""
+        from repro.mdbs.verification import check_atomicity
+
+        return check_atomicity(
+            self.global_schedule(),
+            reported_committed=self.committed_global,
+            program_sites={
+                logical: program.sites
+                for logical, program in self._programs.items()
+            },
+            reported_failed=self.failed_global,
+            atomic_commit=self.atomic_commit,
         )

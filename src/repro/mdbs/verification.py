@@ -150,6 +150,11 @@ class ExactlyOnceReport:
     #: commit is possible when a transaction fails mid-flight
     #: (docs/fault_model.md discusses the atomicity caveat)
     partial_commits: Tuple[str, ...]
+    #: reported-committed logical transactions whose program accesses no
+    #: site at all (or is absent from ``program_sites``) — their commit
+    #: is vacuous, not evidence of effects; listed separately so they
+    #: are never silently conflated with the lost-commit check
+    empty_programs: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -188,9 +193,18 @@ def check_exactly_once(
         if len(incarnations) > 1
     )
     lost: List[Tuple[str, str]] = []
+    empty: List[str] = []
     committed = sorted(set(reported_committed))
     for logical in committed:
-        for site in program_sites.get(logical, ()):
+        # an empty (or unknown) program plans zero sites: iterating its
+        # sites finds nothing to check, which used to pass it off as
+        # trivially committed — indistinguishable from a lost commit at
+        # every site; report such transactions explicitly instead
+        sites = tuple(program_sites.get(logical, ()))
+        if not sites:
+            empty.append(logical)
+            continue
+        for site in sites:
             if (logical, site) not in commits:
                 lost.append((logical, site))
     committed_set = set(committed)
@@ -201,7 +215,72 @@ def check_exactly_once(
         and any(key[0] == logical for key in commits)
     )
     return ExactlyOnceReport(
-        duplicated=duplicated, lost=tuple(lost), partial_commits=partial
+        duplicated=duplicated,
+        lost=tuple(lost),
+        partial_commits=partial,
+        empty_programs=tuple(empty),
+    )
+
+
+@dataclass
+class AtomicityReport:
+    """Atomicity verdict over an :class:`ExactlyOnceReport`.
+
+    The interpretation of a partial commit depends on the protocol in
+    force: without 2PC it is an *informational* consequence of the
+    documented atomicity caveat; with ``atomic_commit`` enabled it is a
+    hard violation — presumed-abort 2PC promises that a transaction
+    either commits at every planned site or at none."""
+
+    atomic_commit: bool
+    exactly_once: ExactlyOnceReport
+
+    @property
+    def partial_commits(self) -> Tuple[str, ...]:
+        return self.exactly_once.partial_commits
+
+    @property
+    def violations(self) -> Tuple[str, ...]:
+        """Human-readable violation descriptions; empty when atomic."""
+        found: List[str] = []
+        for logical, site, incarnations in self.exactly_once.duplicated:
+            found.append(
+                f"duplicated commit of {logical!r} at {site!r}: "
+                f"{incarnations}"
+            )
+        for logical, site in self.exactly_once.lost:
+            found.append(f"lost commit of {logical!r} at {site!r}")
+        if self.atomic_commit:
+            for logical in self.exactly_once.partial_commits:
+                found.append(
+                    f"partial commit of {logical!r} under 2PC (committed "
+                    f"at some sites, reported failed)"
+                )
+        return tuple(found)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_atomicity(
+    global_schedule: GlobalSchedule,
+    reported_committed: Iterable[str],
+    program_sites: Mapping[str, Iterable[str]],
+    reported_failed: Iterable[str] = (),
+    atomic_commit: bool = False,
+) -> AtomicityReport:
+    """Atomicity check from ground truth: :func:`check_exactly_once`
+    with partial commits upgraded to hard violations when the run
+    claimed atomic commitment (2PC)."""
+    return AtomicityReport(
+        atomic_commit=atomic_commit,
+        exactly_once=check_exactly_once(
+            global_schedule,
+            reported_committed,
+            program_sites,
+            reported_failed,
+        ),
     )
 
 

@@ -1,0 +1,392 @@
+"""Unit and property tests for the atomic-commitment layer (ISSUE:
+presumed-abort 2PC with durable logs, timeout-driven termination, and
+chaos-verified atomicity).
+
+The load-bearing properties, each checked from ground truth:
+
+- the coordinator answers inquiries by the presumed-abort rule: logged
+  COMMIT means commit, an open voting round means "ask again", and
+  absence of both means abort;
+- COMMIT decisions are force-logged and survive a GTM2 crash (journal
+  truncation loses at most the undecided tail);
+- a prepared participant is blocked in doubt: non-forced aborts are
+  refused until a coordinator decision arrives, and crash + restart
+  re-enters the in-doubt ledger from the durable prepared records;
+- under chaotic storms (message loss/duplication/delay, site crashes,
+  crashes keyed to YES votes, GTM2 crashes) a 2PC run has *zero*
+  partial commits — every global transaction commits at all of its
+  planned sites or at none;
+- with ``atomic_commit=False`` the same seeds reproduce the PR 1
+  behavior where partial commits are informational.
+"""
+
+import pytest
+
+from repro.commit import (
+    CommitPolicy,
+    CommitProtocolError,
+    TwoPhaseCoordinator,
+)
+from repro.core import make_scheme
+from repro.core.recovery import Journal
+from repro.faults import (
+    FaultConfigError,
+    FaultPlan,
+    PrepareCrash,
+    SiteCrash,
+)
+from repro.faults.chaos import ChaosOptions, run_chaos
+from repro.lmdbs import LocalDBMS, make_protocol
+from repro.lmdbs.protocols.base import Verdict
+from repro.mdbs import (
+    MDBSSimulator,
+    SimulationConfig,
+    check_atomicity,
+    check_exactly_once,
+    verify,
+)
+from repro.schedules.global_schedule import GlobalSchedule
+from repro.schedules.model import (
+    Schedule,
+    begin as begin_op,
+    commit as commit_op,
+    read as read_op,
+    write as write_op,
+)
+from repro.workloads.generator import WorkloadConfig, WorkloadGenerator
+
+
+def build_atomic_simulator(seed, injector=None, scheme_name="scheme2",
+                           config=None, global_txns=6, local_txns=8):
+    """A 3-site simulator with ``atomic_commit=True`` (mirrors the
+    fault-injection test helper)."""
+    workload = WorkloadGenerator(WorkloadConfig(sites=3, seed=seed))
+    protocols = ["strict-2pl", "to", "sgt"]
+    sites = {
+        name: LocalDBMS(name, make_protocol(protocols[index]))
+        for index, name in enumerate(workload.config.site_names)
+    }
+    simulator = MDBSSimulator(
+        sites,
+        make_scheme(scheme_name),
+        config or SimulationConfig(horizon=50_000.0),
+        seed=seed,
+        injector=injector,
+        scheme_factory=lambda: make_scheme(scheme_name),
+        atomic_commit=True,
+    )
+    for index, program in enumerate(workload.global_batch(global_txns)):
+        simulator.submit_global(program, at=index * 3.0)
+    for index, local in enumerate(workload.local_batch(local_txns)):
+        simulator.submit_local(local, at=index * 1.5)
+    return simulator
+
+
+# ---------------------------------------------------------------------------
+# coordinator: the presumed-abort rule
+# ---------------------------------------------------------------------------
+class TestCoordinator:
+    def test_resolve_follows_presumed_abort(self):
+        coordinator = TwoPhaseCoordinator(Journal())
+        coordinator.begin_voting("G1")
+        assert coordinator.resolve("G1") is None  # voting open: ask again
+        coordinator.decide_commit("G1")
+        assert coordinator.resolve("G1") is True
+        # never heard of G2 and no round open: presumed aborted
+        assert coordinator.resolve("G2") is False
+        coordinator.begin_voting("G3")
+        coordinator.decide_abort("G3")
+        assert coordinator.resolve("G3") is False
+
+    def test_commit_decision_is_force_logged_and_idempotent(self):
+        journal = Journal()
+        coordinator = TwoPhaseCoordinator(journal)
+        coordinator.begin_voting("G1")
+        coordinator.decide_commit("G1")
+        coordinator.decide_commit("G1")  # duplicate: one record, one count
+        assert journal.commit_decisions() == ("G1",)
+        assert coordinator.stats.commit_decisions == 1
+
+    def test_abort_decisions_are_never_logged(self):
+        journal = Journal()
+        coordinator = TwoPhaseCoordinator(journal)
+        coordinator.begin_voting("G1")
+        coordinator.decide_abort("G1")
+        assert journal.commit_decisions() == ()
+
+    def test_recover_rebuilds_commits_from_journal(self):
+        journal = Journal()
+        before = TwoPhaseCoordinator(journal)
+        before.begin_voting("G1")
+        before.decide_commit("G1")
+        before.begin_voting("G2")  # undecided at crash time
+        after = TwoPhaseCoordinator.recover(journal)
+        assert after.resolve("G1") is True
+        # the crash closed G2's round; until the caller re-opens it the
+        # presumed-abort rule answers abort
+        assert after.resolve("G2") is False
+        after.begin_voting("G2")
+        assert after.resolve("G2") is None
+        assert after.stats.coordinator_recoveries == 1
+
+    def test_journal_truncation_keeps_decided_prefix(self):
+        journal = Journal()
+        for incarnation in ("G1", "G2", "G3"):
+            journal.log_decision(incarnation)
+        survived = journal.truncate(0, 0, decisions_upto=2)
+        assert survived.commit_decisions() == ("G1", "G2")
+        # default truncation models a crash of the volatile tail only:
+        # force-logged decisions all survive
+        assert journal.truncate(0, 0).commit_decisions() == ("G1", "G2", "G3")
+
+    def test_policy_validates(self):
+        with pytest.raises(CommitProtocolError):
+            CommitPolicy(decision_timeout=0.0).validate()
+        with pytest.raises(CommitProtocolError):
+            CommitPolicy(backoff_factor=0.5).validate()
+        with pytest.raises(CommitProtocolError):
+            CommitPolicy(decision_timeout=100.0, max_timeout=50.0).validate()
+
+
+# ---------------------------------------------------------------------------
+# fault-plan surface grown for 2PC
+# ---------------------------------------------------------------------------
+class TestFaultPlanSurface:
+    def test_from_mapping_builds_prepare_crashes(self):
+        plan = FaultPlan.from_mapping(
+            {
+                "seed": 3,
+                "site_crashes": [{"site": "s0", "at": 30.0}],
+                "crash_after_prepare": [
+                    {"site": "s1", "after_prepares": 2, "downtime": 10.0}
+                ],
+            }
+        )
+        assert plan.crash_after_prepare == (
+            PrepareCrash(site="s1", after_prepares=2, downtime=10.0),
+        )
+        assert plan.site_crashes == (SiteCrash(site="s0", at=30.0),)
+
+    def test_from_mapping_rejects_unknown_keywords(self):
+        with pytest.raises(FaultConfigError) as excinfo:
+            FaultPlan.from_mapping({"seed": 1, "crash_after_prpare": []})
+        assert "crash_after_prpare" in str(excinfo.value)
+
+    def test_random_plan_with_prepare_crashes_extends_legacy_plan(self):
+        sites = ("s0", "s1", "s2")
+        legacy = FaultPlan.random(9, sites)
+        extended = FaultPlan.random(9, sites, prepare_crash_count=2)
+        # the new draws come after all legacy draws, so everything the
+        # old plan contained is byte-identical
+        assert extended.gtm_crashes == legacy.gtm_crashes
+        assert extended.site_crashes == legacy.site_crashes
+        assert len(extended.crash_after_prepare) == 2
+        for crash in extended.crash_after_prepare:
+            assert crash.site in sites
+            assert 1 <= crash.after_prepares <= 3
+
+
+# ---------------------------------------------------------------------------
+# verification: empty programs, partial commits
+# ---------------------------------------------------------------------------
+def _schedule(site_ops, global_ids):
+    return GlobalSchedule(
+        {site: Schedule(ops) for site, ops in site_ops.items()},
+        global_transaction_ids=set(global_ids),
+    )
+
+
+class TestVerificationSurface:
+    def test_empty_program_is_reported_not_trivially_committed(self):
+        # regression: a reported-committed logical transaction that
+        # plans zero sites used to sail through the lost-commit loop
+        # (nothing to iterate) and read as verified
+        schedule = _schedule({"s0": []}, ["G1"])
+        report = check_exactly_once(
+            schedule, reported_committed=["G1"], program_sites={"G1": ()}
+        )
+        assert report.empty_programs == ("G1",)
+        assert report.lost == ()
+        assert report.ok
+
+    def test_unknown_program_counts_as_empty(self):
+        schedule = _schedule({"s0": []}, ["G1"])
+        report = check_exactly_once(
+            schedule, reported_committed=["G1"], program_sites={}
+        )
+        assert report.empty_programs == ("G1",)
+
+    def test_partial_commit_is_hard_violation_only_under_2pc(self):
+        operations = [
+            begin_op("G1", "s0"),
+            write_op("G1", "x", "s0"),
+            commit_op("G1", "s0"),
+        ]
+        schedule = _schedule({"s0": operations, "s1": []}, ["G1"])
+        kwargs = dict(
+            reported_committed=[],
+            program_sites={"G1": ("s0", "s1")},
+            reported_failed=["G1"],
+        )
+        without = check_atomicity(schedule, atomic_commit=False, **kwargs)
+        assert without.partial_commits == ("G1",)
+        assert without.ok  # informational without 2PC
+        with_2pc = check_atomicity(schedule, atomic_commit=True, **kwargs)
+        assert not with_2pc.ok
+        assert any("partial commit" in v for v in with_2pc.violations)
+
+
+# ---------------------------------------------------------------------------
+# participant: the in-doubt blocking window
+# ---------------------------------------------------------------------------
+class TestPreparedGuard:
+    def _prepared_db(self):
+        db = LocalDBMS("s0", make_protocol("strict-2pl"))
+        db.submit(begin_op("G1", "s0"), read_set=frozenset(),
+                  write_set=frozenset({"x"}))
+        db.submit(write_op("G1", "x", "s0"))
+        decision = db.protocol.on_prepare("G1")
+        assert decision.verdict is Verdict.GRANT
+        db.history.mark_prepared("G1")
+        return db
+
+    def test_non_forced_abort_of_prepared_transaction_is_refused(self):
+        db = self._prepared_db()
+        db.abort_transaction("G1", "deadlock victim")
+        assert db.prepared_abort_refusals == 1
+        assert db.is_active("G1")  # still holding its locks, in doubt
+        assert db.history.is_prepared("G1")
+
+    def test_forced_abort_carries_the_coordinator_decision(self):
+        db = self._prepared_db()
+        db.abort_transaction("G1", "coordinator decided abort", force=True)
+        assert not db.is_active("G1")
+        assert not db.history.is_prepared("G1")
+
+    def test_prepared_record_survives_crash(self):
+        db = self._prepared_db()
+        db.crash()
+        db.restart()
+        assert db.history.is_prepared("G1")
+
+
+class TestOptimisticPrepare:
+    def test_validation_failure_votes_no(self):
+        db = LocalDBMS("s0", make_protocol("occ"))
+        db.submit(begin_op("T1", "s0"))
+        db.submit(begin_op("T2", "s0"))
+        db.submit(read_op("T2", "x", "s0"))
+        db.submit(write_op("T1", "x", "s0"))
+        # T1 validates first and installs its write set
+        assert db.protocol.on_prepare("T1").verdict is Verdict.GRANT
+        # T2 read x before T1's write installed: backward validation fails
+        assert db.protocol.on_prepare("T2").verdict is not Verdict.GRANT
+
+    def test_aborted_prepare_tombstone_revokes_conflict(self):
+        db = LocalDBMS("s0", make_protocol("occ"))
+        db.submit(begin_op("T1", "s0"))
+        db.submit(begin_op("T2", "s0"))
+        db.submit(read_op("T2", "x", "s0"))
+        db.submit(write_op("T1", "x", "s0"))
+        assert db.protocol.on_prepare("T1").verdict is Verdict.GRANT
+        db.abort_transaction("T1", "coordinator decided abort", force=True)
+        # the tombstoned write set conflicts with nothing anymore
+        assert db.protocol.on_prepare("T2").verdict is Verdict.GRANT
+
+
+# ---------------------------------------------------------------------------
+# whole-system properties
+# ---------------------------------------------------------------------------
+class TestAtomicRuns:
+    def test_quiet_atomic_run_commits_everything(self):
+        simulator = build_atomic_simulator(seed=1)
+        report = simulator.run()
+        assert report.atomic_commit
+        assert report.committed_global == 6
+        assert report.failed_global == 0
+        assert report.commit_stats.commit_decisions == 6
+        assert report.commit_stats.decide_commit_nacks == 0
+        assert verify(
+            simulator.global_schedule(), simulator.ser_schedule
+        ).ok
+        atomicity = check_atomicity(
+            simulator.global_schedule(),
+            simulator.committed_global,
+            {
+                logical: program.sites
+                for logical, program in simulator._programs.items()
+            },
+            reported_failed=simulator.failed_global,
+            atomic_commit=True,
+        )
+        assert atomicity.ok
+        assert report.commit_latencies  # decide → all-acks measured
+
+    def test_chaos_run_is_reproducible(self):
+        options = ChaosOptions(atomic_commit=True, prepare_crash_count=1)
+        first = run_chaos(options, seed=5)
+        second = run_chaos(options, seed=5)
+        assert first.report == second.report
+        assert first.ok and second.ok
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_chaos_storms_never_partially_commit(self, seed):
+        """The acceptance property, scaled to suite time: message loss,
+        duplication, delay, site crashes, crashes keyed to YES votes,
+        and GTM2 crashes — zero partial commits, all in-doubt windows
+        resolved, the run terminates."""
+        options = ChaosOptions(
+            atomic_commit=True,
+            prepare_crash_count=1,
+            loss_rate=0.2,
+        )
+        result = run_chaos(options, seed=seed)
+        assert result.terminated
+        assert result.atomicity.ok, result.atomicity.violations
+        assert result.atomicity.partial_commits == ()
+        assert result.ok, result.failure_reasons()
+
+    @pytest.mark.parametrize("scheme", ["scheme0", "scheme1", "scheme3"])
+    def test_atomic_commit_composes_with_every_scheme(self, scheme):
+        options = ChaosOptions(
+            scheme=scheme, atomic_commit=True, prepare_crash_count=1
+        )
+        result = run_chaos(options, seed=2)
+        assert result.ok, result.failure_reasons()
+
+    def test_in_doubt_windows_resolve_under_loss(self):
+        """Crash-after-prepare plus heavy message loss forces in-doubt
+        participants through the termination protocol; every window must
+        still close (no participant blocks forever)."""
+        observed_in_doubt = False
+        for seed in range(4):
+            options = ChaosOptions(
+                atomic_commit=True,
+                prepare_crash_count=2,
+                loss_rate=0.25,
+                site_crash_count=2,
+            )
+            result = run_chaos(options, seed=seed)
+            assert result.ok, result.failure_reasons()
+            stats = result.report.commit_stats
+            assert stats.in_doubt_resolved >= len(
+                result.report.in_doubt_times
+            )
+            if result.report.in_doubt_times:
+                observed_in_doubt = True
+        assert observed_in_doubt  # the storm actually exercised blocking
+
+    def test_flag_off_reproduces_informational_partials(self):
+        """The same seed without 2PC reproduces the PR 1 posture:
+        partial commits are reported but not violations."""
+        on = run_chaos(
+            ChaosOptions(atomic_commit=True, prepare_crash_count=1), seed=3
+        )
+        off = run_chaos(ChaosOptions(), seed=3)
+        assert on.atomicity.atomic_commit
+        assert not off.atomicity.atomic_commit
+        assert not off.report.atomic_commit
+        assert off.report.commit_stats is None
+        assert off.ok, off.failure_reasons()
+        # informational partials never fail a non-2PC run
+        assert off.atomicity.ok
