@@ -1,0 +1,240 @@
+"""The perf-trajectory bench harness (``repro bench``).
+
+Runs the E4 throughput grid (and optionally the E11 atomic-commit
+variant) as independent *cells* — one per (experiment, scheme, mpl,
+seed) — and persists the results as a ``BENCH_<n>.json`` trajectory
+file.  Each cell is seed-deterministic and self-contained, so the grid
+can be fanned across ``multiprocessing`` workers and merged back in
+fixed task order: the parallel run emits byte-identical results to the
+serial one (asserted by tests/test_bench_runner.py).
+
+Cells can run with the scheduler fast paths enabled (the default) or
+disabled (``fast_paths=False`` re-runs the legacy algorithms), which is
+how the before/after columns of a trajectory file are produced and how
+CI guards against throughput regressions: :func:`check_regression`
+compares a fresh run against the committed baseline on the cells they
+share.
+
+Simulated throughput is deterministic for a given cell spec, so the
+regression gate tolerates *zero* drift on identical code — the
+threshold exists to absorb intentional scheduling changes reviewed via
+baseline refresh, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro import fastpath
+
+#: site protocols of the E4 grid (benchmarks/test_bench_throughput.py)
+E4_PROTOCOLS = ("strict-2pl", "to", "conservative-2pl", "sgt")
+DEFAULT_SCHEMES = ("scheme0", "scheme1", "scheme2", "scheme3")
+DEFAULT_MPL = (4, 8, 16)
+DEFAULT_SEEDS = (7, 8, 9, 10)
+
+
+def make_specs(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    mpl_values: Sequence[int] = DEFAULT_MPL,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    experiment: str = "E4",
+    fast_paths: bool = True,
+) -> List[Dict[str, Any]]:
+    """The cell grid, in the fixed order results are merged back in."""
+    return [
+        {
+            "experiment": experiment,
+            "scheme": scheme,
+            "mpl": int(mpl),
+            "seed": int(seed),
+            "fast_paths": bool(fast_paths),
+        }
+        for scheme in schemes
+        for mpl in mpl_values
+        for seed in seeds
+    ]
+
+
+def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one bench cell; picklable, safe to call in a worker process.
+
+    The fast-path toggle is process-global, so each cell sets it from
+    its spec before constructing any scheduler component and restores
+    it after — cells with different settings can share a worker.
+    """
+    previous = fastpath.enabled()
+    fastpath.set_enabled(spec.get("fast_paths", True))
+    try:
+        started = time.perf_counter()
+        if spec["experiment"] == "E11":
+            report = _run_e11_cell(spec)
+        else:
+            report = _run_e4_cell(spec)
+        wall_s = time.perf_counter() - started
+    finally:
+        fastpath.set_enabled(previous)
+    result = dict(spec)
+    result.update(
+        throughput=report.throughput,
+        mean_response_time=report.mean_response_time,
+        committed=report.committed_global,
+        duration=report.duration,
+        events=report.events_executed,
+        events_per_sec=(
+            report.events_executed / wall_s if wall_s > 0 else 0.0
+        ),
+        wall_s=wall_s,
+        scheme_steps=report.scheme_steps,
+        graph_ops=report.graph_ops,
+        dfs_steps_avoided=report.dfs_steps_avoided,
+        wake_retries_skipped=report.wake_retries_skipped,
+    )
+    return result
+
+
+def _run_e4_cell(spec: Dict[str, Any]):
+    """One E4 throughput cell: the grid point of
+    benchmarks/test_bench_throughput.py, verified against ground truth."""
+    from repro.core import make_scheme
+    from repro.lmdbs import LocalDBMS, make_protocol
+    from repro.mdbs import (
+        MDBSSimulator,
+        SimulationConfig,
+        assert_verified,
+    )
+    from repro.workloads import WorkloadConfig, WorkloadGenerator
+
+    mpl, seed = spec["mpl"], spec["seed"]
+    cfg = WorkloadConfig(
+        sites=len(E4_PROTOCOLS),
+        items_per_site=12,
+        dav=2.0,
+        ops_per_site=2,
+        seed=seed,
+    )
+    gen = WorkloadGenerator(cfg)
+    sites = {
+        site: LocalDBMS(site, make_protocol(protocol))
+        for site, protocol in zip(cfg.site_names, E4_PROTOCOLS)
+    }
+    sim = MDBSSimulator(
+        sites, make_scheme(spec["scheme"]), SimulationConfig(), seed=seed
+    )
+    programs = gen.global_batch(3 * mpl)
+    for index, program in enumerate(programs):
+        sim.submit_global(program, at=(index // mpl) * 40.0)
+    report = sim.run()
+    assert_verified(sim.global_schedule(), sim.ser_schedule)
+    return report
+
+
+def _run_e11_cell(spec: Dict[str, Any]):
+    """One E11 cell: the chaos run with presumed-abort 2PC enabled
+    (benchmarks/test_bench_atomic_commit.py); ``mpl`` selects nothing —
+    the chaos workload is fixed — but stays in the key for uniformity."""
+    from repro.faults.chaos import ChaosOptions, run_chaos
+
+    options = ChaosOptions(
+        scheme=spec["scheme"],
+        atomic_commit=True,
+        prepare_crash_count=1,
+        site_crash_count=1,
+    )
+    result = run_chaos(options, spec["seed"])
+    if not result.ok:
+        raise RuntimeError(
+            f"E11 cell {spec!r} failed: {result.failure_reasons()}"
+        )
+    return result.report
+
+
+def run_grid(
+    specs: Sequence[Dict[str, Any]],
+    workers: int = 1,
+) -> List[Dict[str, Any]]:
+    """Run every cell; with ``workers > 1`` fan out across processes.
+
+    Results are merged in the order of *specs* regardless of worker
+    completion order, and every cell is deterministic in its spec, so
+    the output is identical for any worker count.
+    """
+    if workers <= 1 or len(specs) <= 1:
+        return [run_cell(spec) for spec in specs]
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(run_cell, list(specs))
+
+
+def emit_json(
+    results: Iterable[Dict[str, Any]],
+    path: str,
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    payload = {"meta": meta or {}, "cells": list(results)}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _cell_key(cell: Dict[str, Any]):
+    return (
+        cell.get("experiment", "E4"),
+        cell["scheme"],
+        cell["mpl"],
+        cell["seed"],
+        bool(cell.get("fast_paths", True)),
+    )
+
+
+def check_regression(
+    current: Iterable[Dict[str, Any]],
+    baseline: Iterable[Dict[str, Any]],
+    threshold: float = 0.2,
+    scheme: str = "scheme3",
+    mpl: int = 16,
+    experiment: str = "E4",
+) -> List[str]:
+    """Compare throughput against the committed baseline.
+
+    Looks at the fast-path cells of (*experiment*, *scheme*, *mpl*)
+    present in both runs; a cell whose throughput fell more than
+    *threshold* (fractional) below the baseline is a failure.  Returns
+    the list of failure descriptions (empty = gate passes)."""
+    baseline_map = {_cell_key(cell): cell for cell in baseline}
+    failures: List[str] = []
+    compared = 0
+    for cell in current:
+        key = _cell_key(cell)
+        if (
+            key[0] != experiment
+            or key[1] != scheme
+            or key[2] != mpl
+            or not key[4]
+        ):
+            continue
+        reference = baseline_map.get(key)
+        if reference is None:
+            continue
+        compared += 1
+        floor = reference["throughput"] * (1.0 - threshold)
+        if cell["throughput"] < floor:
+            failures.append(
+                f"{scheme}@mpl={mpl} seed={cell['seed']}: throughput "
+                f"{cell['throughput']:.6f} fell below "
+                f"{floor:.6f} (baseline {reference['throughput']:.6f}, "
+                f"threshold {threshold:.0%})"
+            )
+    if compared == 0:
+        failures.append(
+            f"no comparable {experiment} {scheme}@mpl={mpl} cells between "
+            "current run and baseline"
+        )
+    return failures

@@ -21,6 +21,12 @@ Commands
     lost/duplicated commits, and termination from the ground-truth
     histories.
 
+``bench``
+    Run the perf-trajectory grid (E4 throughput / E11 atomic-commit
+    cells) across worker processes, emit a ``BENCH_<n>.json`` file, and
+    optionally fail if throughput regressed against a committed
+    baseline (see docs/performance.md).
+
 Examples
 --------
 ::
@@ -29,11 +35,14 @@ Examples
     python -m repro compare --schemes scheme0 scheme3 otm --txns 30
     python -m repro trace --scheme scheme2 --txns 8 --seed 7
     python -m repro chaos --runs 50 --loss-rate 0.2
+    python -m repro bench --schemes scheme2 scheme3 --mpl 16 \
+        --compare-legacy --out BENCH_3.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -251,6 +260,95 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import bench
+
+    for name in args.schemes:
+        _make_scheduler(name)  # validate early
+    specs = bench.make_specs(
+        schemes=args.schemes,
+        mpl_values=args.mpl,
+        seeds=[args.base_seed + offset for offset in range(args.seeds)],
+        experiment=args.experiment,
+        fast_paths=True,
+    )
+    if args.compare_legacy:
+        specs = specs + bench.make_specs(
+            schemes=args.schemes,
+            mpl_values=args.mpl,
+            seeds=[
+                args.base_seed + offset for offset in range(args.seeds)
+            ],
+            experiment=args.experiment,
+            fast_paths=False,
+        )
+    workers = 1 if args.serial else args.workers
+    results = bench.run_grid(specs, workers=workers)
+    rows = [
+        (
+            "fast" if cell["fast_paths"] else "legacy",
+            cell["scheme"],
+            cell["mpl"],
+            cell["seed"],
+            cell["committed"],
+            round(cell["throughput"] * 1000, 2),
+            round(cell["mean_response_time"], 1),
+            round(cell["wall_s"], 3),
+            round(cell["events_per_sec"]),
+        )
+        for cell in results
+    ]
+    print(
+        render_table(
+            (
+                "mode",
+                "scheme",
+                "mpl",
+                "seed",
+                "committed",
+                "tput (txn/kt)",
+                "mean rt",
+                "wall s",
+                "events/s",
+            ),
+            rows,
+            title=(
+                f"{args.experiment} bench grid "
+                f"({'serial' if workers <= 1 else f'{workers} workers'})"
+            ),
+        )
+    )
+    if args.out:
+        bench.emit_json(
+            results,
+            args.out,
+            meta={
+                "experiment": args.experiment,
+                "schemes": list(args.schemes),
+                "mpl": list(args.mpl),
+                "seeds": args.seeds,
+                "base_seed": args.base_seed,
+                "compare_legacy": bool(args.compare_legacy),
+            },
+        )
+        print(f"wrote {args.out}")
+    if args.baseline:
+        failures = bench.check_regression(
+            results,
+            bench.load_json(args.baseline).get("cells", []),
+            threshold=args.max_regression,
+        )
+        if failures:
+            for line in failures:
+                print(f"!! regression: {line}")
+            return 1
+        print(
+            f"regression gate passed (threshold "
+            f"{args.max_regression:.0%} vs {args.baseline})"
+        )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import ALL_EXPERIMENTS, render_report
 
@@ -353,6 +451,50 @@ def build_parser() -> argparse.ArgumentParser:
         "vote); needs --atomic-commit to matter",
     )
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the perf-trajectory bench grid (E4/E11 cells across "
+        "worker processes) and optionally gate on a baseline",
+    )
+    bench_parser.add_argument(
+        "--experiment", choices=["E4", "E11"], default="E4"
+    )
+    bench_parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["scheme0", "scheme1", "scheme2", "scheme3"],
+    )
+    bench_parser.add_argument(
+        "--mpl", nargs="+", type=int, default=[4, 8, 16]
+    )
+    bench_parser.add_argument(
+        "--seeds", type=int, default=4, help="number of seeds per cell"
+    )
+    bench_parser.add_argument("--base-seed", type=int, default=7)
+    bench_parser.add_argument(
+        "--workers", type=int, default=max(1, os.cpu_count() or 1)
+    )
+    bench_parser.add_argument(
+        "--serial", action="store_true", help="force single-process"
+    )
+    bench_parser.add_argument(
+        "--compare-legacy",
+        action="store_true",
+        help="also run every cell with the scheduler fast paths "
+        "disabled (the before/after trajectory)",
+    )
+    bench_parser.add_argument("--out", help="write BENCH_<n>.json here")
+    bench_parser.add_argument(
+        "--baseline", help="committed BENCH_<n>.json to gate against"
+    )
+    bench_parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        help="fractional throughput drop tolerated vs the baseline",
+    )
+    bench_parser.set_defaults(func=cmd_bench)
 
     report_parser = sub.add_parser(
         "report", help="regenerate the analytical experiment report"

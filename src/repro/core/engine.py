@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
+from repro import fastpath
 from repro.core.events import Ack, Fin, Init, QueueOp, Ser
 from repro.core.scheme import ConservativeScheme, SchemeContext
 from repro.exceptions import SchedulerError
@@ -72,15 +73,24 @@ class Engine(SchemeContext):
         self._submit_handler = submit_handler
         self._ack_handler = ack_handler
         self._force_full_rescan = force_full_rescan
+        #: resolved once at construction: with fast paths off, purges
+        #: fall back to the legacy full-WAIT rescan even for schemes
+        #: that can produce hints
+        self._use_purge_hints = fastpath.enabled()
         #: optional :class:`repro.core.recovery.Journal` for
         #: crash recovery; logs insertions and processed operations
         self.journal = journal
         self._queue: Deque[QueueOp] = deque()
-        self._wait: List[QueueOp] = []
+        #: WAIT, keyed by operation identity in insertion order — O(1)
+        #: membership and removal where the old list paid O(|WAIT|)
+        self._wait: Dict[int, QueueOp] = {}
         self._wait_index: Dict[Tuple[str, Optional[str]], List[QueueOp]] = {}
         self._wait_since: Dict[int, int] = {}
         self._ticks = 0
         self._full_rescan_pending = False
+        #: wake hints accumulated by targeted purges, consumed on the
+        #: next run (see :meth:`purge_transaction`)
+        self._purge_worklist: List[WakeHint] = []
         #: ser-operations submitted, in submission order (per site), used
         #: to build ser(S) for verification
         self.submission_log: List[Ser] = []
@@ -111,7 +121,7 @@ class Engine(SchemeContext):
 
     @property
     def wait_set(self) -> Tuple[QueueOp, ...]:
-        return tuple(self._wait)
+        return tuple(self._wait.values())
 
     @property
     def queue_size(self) -> int:
@@ -119,31 +129,47 @@ class Engine(SchemeContext):
 
     def purge_transaction(self, transaction_id: str) -> None:
         """Drop all queued and waiting operations of a transaction (used
-        when the GTM aborts a global transaction).  Forces a full WAIT
-        rescan on the next run: removing a transaction can enable
-        arbitrary waiting operations.  The purge is journaled so crash
-        recovery does not resurrect operations of dead incarnations."""
+        when the GTM aborts a global transaction).  Removing a
+        transaction can enable waiting operations, so WAIT must be
+        re-examined on the next run.  Schemes that implement
+        ``purge_hints`` bound that re-examination to the operations the
+        removal can actually enable (the hints are collected *here*,
+        while the scheme still holds the doomed transaction's state);
+        otherwise the engine falls back to a full rescan.  The purge is
+        journaled so crash recovery does not resurrect operations of
+        dead incarnations."""
         if self.journal is not None:
             self.journal.log_purged(transaction_id)
         self._queue = deque(
             op for op in self._queue if op.transaction_id != transaction_id
         )
-        for operation in list(self._wait):
+        for operation in list(self._wait.values()):
             if operation.transaction_id == transaction_id:
                 self._remove_waiting(operation)
                 self._wait_since.pop(id(operation), None)
-        self._full_rescan_pending = True
+        hinter = (
+            None
+            if self._force_full_rescan or not self._use_purge_hints
+            else getattr(self.scheme, "purge_hints", None)
+        )
+        if hinter is None:
+            self._full_rescan_pending = True
+        else:
+            self._purge_worklist.extend(hinter(transaction_id))
 
     def _add_waiting(self, operation: QueueOp) -> None:
-        self._wait.append(operation)
+        self._wait[id(operation)] = operation
         self._wait_index.setdefault(_op_key(operation), []).append(operation)
         self._wait_since[id(operation)] = self._ticks
 
     def _remove_waiting(self, operation: QueueOp) -> None:
-        self._wait.remove(operation)
-        bucket = self._wait_index.get(_op_key(operation), [])
-        if operation in bucket:
-            bucket.remove(operation)
+        self._wait.pop(id(operation), None)
+        bucket = self._wait_index.get(_op_key(operation))
+        if bucket:
+            for position, waiting in enumerate(bucket):
+                if waiting is operation:
+                    del bucket[position]
+                    break
 
     # ------------------------------------------------------------------
     # Figure 3 loop
@@ -157,7 +183,12 @@ class Engine(SchemeContext):
         processed = 0
         if self._full_rescan_pending:
             self._full_rescan_pending = False
+            self._purge_worklist.clear()  # subsumed by the full rescan
             processed += self._drain_full()
+        elif self._purge_worklist:
+            worklist = self._purge_worklist
+            self._purge_worklist = []
+            processed += self._drain_matching(worklist)
         while self._queue:
             if max_ticks is not None and self._ticks >= max_ticks:
                 break
@@ -195,11 +226,11 @@ class Engine(SchemeContext):
         if hints is None:
             return self._drain_full()
         processed = 0
-        worklist: List[WakeHint] = list(hints)
+        worklist: Deque[WakeHint] = deque(hints)
         while worklist:
-            kind, txn, site = worklist.pop(0)
+            kind, txn, site = worklist.popleft()
             for candidate in self._candidates(kind, txn, site):
-                if candidate not in self._wait:
+                if id(candidate) not in self._wait:
                     continue
                 if self.scheme.cond(candidate):
                     self._remove_waiting(candidate)
@@ -231,7 +262,9 @@ class Engine(SchemeContext):
             # (kind, None) and the lookup stays O(bucket)
             bucket = list(self._wait_index.get((kind, site), []))
         else:
-            bucket = [op for op in self._wait if op.kind == kind]
+            bucket = [
+                op for op in self._wait.values() if op.kind == kind
+            ]
         if txn is not None:
             bucket = [op for op in bucket if op.transaction_id == txn]
         return bucket
@@ -244,8 +277,8 @@ class Engine(SchemeContext):
         progress = True
         while progress:
             progress = False
-            for operation in list(self._wait):
-                if operation not in self._wait:
+            for operation in list(self._wait.values()):
+                if id(operation) not in self._wait:
                     continue  # purged by a reentrant abort
                 if self.scheme.cond(operation):
                     self._remove_waiting(operation)
@@ -260,6 +293,54 @@ class Engine(SchemeContext):
                 progress = True
         return processed
 
+    def _drain_matching(self, filters: List[WakeHint]) -> int:
+        """Targeted post-purge drain: the full-rescan fixpoint of
+        :meth:`_drain_full`, restricted to waiting operations that match
+        a purge hint (extended with the wake hints of whatever it
+        processes).  The scan still walks WAIT in insertion order so the
+        operations it *does* process are acted in exactly the order the
+        full rescan would have used; non-matching operations — whose
+        ``cond`` the purge cannot have changed — are skipped without
+        re-evaluation and counted as ``wake_retries_skipped``."""
+        processed = 0
+        progress = True
+        while progress:
+            progress = False
+            for operation in list(self._wait.values()):
+                if id(operation) not in self._wait:
+                    continue
+                if not self._matches(operation, filters):
+                    self.scheme.metrics.wake_retries_skipped += 1
+                    continue
+                if self.scheme.cond(operation):
+                    self._remove_waiting(operation)
+                    waited = self._ticks - self._wait_since.pop(
+                        id(operation), self._ticks
+                    )
+                    self.scheme.metrics.wait_ticks += max(waited, 0)
+                    self._act(operation)
+                    processed += 1
+                    progress = True
+                    follow = self._hints_for(operation)
+                    if follow is None or self._consume_rescan_request():
+                        return processed + self._drain_full()
+                    filters.extend(follow)
+        return processed
+
+    @staticmethod
+    def _matches(operation: QueueOp, filters: List[WakeHint]) -> bool:
+        kind = operation.kind
+        site = getattr(operation, "site", None)
+        transaction_id = operation.transaction_id
+        for hint_kind, hint_txn, hint_site in filters:
+            if (
+                hint_kind == kind
+                and (hint_txn is None or hint_txn == transaction_id)
+                and (hint_site is None or hint_site == site)
+            ):
+                return True
+        return False
+
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
@@ -269,7 +350,7 @@ class Engine(SchemeContext):
         if self._queue or self._wait:
             raise SchedulerError(
                 f"scheme {self.scheme.name!r} stalled: queue="
-                f"{list(self._queue)!r} wait={self._wait!r}"
+                f"{list(self._queue)!r} wait={list(self._wait.values())!r}"
             )
 
     def __repr__(self) -> str:

@@ -32,6 +32,15 @@ class SchemeMetrics:
     wait_ticks: int = 0
     #: transactions fully scheduled (fin processed)
     transactions_finished: int = 0
+    # -- scheduling-cost attribution (fast paths; not part of the
+    # -- paper's step measure, which stays the analytical model cost) --
+    #: structural graph mutations (node/edge/dependency inserts+removals)
+    graph_ops: int = 0
+    #: DFS / scan work units the incremental paths did *not* re-execute
+    #: (estimated against the legacy restart-from-scratch cost)
+    dfs_steps_avoided: int = 0
+    #: waiting operations the targeted post-purge drain did not re-examine
+    wake_retries_skipped: int = 0
 
     def step(self, count: int = 1) -> None:
         self.steps += count
@@ -67,4 +76,7 @@ class SchemeMetrics:
             "wait_ticks": float(self.wait_ticks),
             "transactions": float(self.transactions_finished),
             "steps_per_txn": self.steps_per_transaction(),
+            "graph_ops": float(self.graph_ops),
+            "dfs_steps_avoided": float(self.dfs_steps_avoided),
+            "wake_retries_skipped": float(self.wake_retries_skipped),
         }

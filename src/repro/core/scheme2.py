@@ -63,7 +63,7 @@ class Scheme2(ConservativeScheme):
         transaction_id = operation.transaction_id
         self.tsgd.insert_transaction(transaction_id, operation.sites)
         for site in operation.sites:
-            for other in sorted(self.tsgd.transactions_at(site)):
+            for other in self.tsgd.transactions_at_sorted(site):
                 self.metrics.step()
                 if other == transaction_id:
                     continue
@@ -93,7 +93,7 @@ class Scheme2(ConservativeScheme):
 
     def act_ser(self, operation: Ser) -> None:
         transaction_id, site = operation.transaction_id, operation.site
-        for other in sorted(self.tsgd.transactions_at(site)):
+        for other in self.tsgd.transactions_at_sorted(site):
             self.metrics.step()
             if other == transaction_id:
                 continue
@@ -120,13 +120,11 @@ class Scheme2(ConservativeScheme):
 
     def act_fin(self, operation: Fin) -> None:
         transaction_id = operation.transaction_id
-        # sorted: sites_of returns a frozenset, and the wake-hint order
-        # derived from this tuple decides which waiting ser-operation is
-        # re-examined first — hash order here leaks into outcomes and
-        # breaks cross-process replay of seeded chaos runs
-        self._finished_sites = tuple(
-            sorted(self.tsgd.sites_of(transaction_id))
-        )
+        # sorted: the wake-hint order derived from this tuple decides
+        # which waiting ser-operation is re-examined first — hash order
+        # here leaks into outcomes and breaks cross-process replay of
+        # seeded chaos runs
+        self._finished_sites = self.tsgd.sites_of_sorted(transaction_id)
         for site in self.tsgd.sites_of(transaction_id):
             self.metrics.step()
             self._executed.discard((transaction_id, site))
@@ -164,3 +162,20 @@ class Scheme2(ConservativeScheme):
         self._acked = {
             key for key in self._acked if key[0] != transaction_id
         }
+
+    # -- purge hints (targeted post-abort WAIT drain; see Engine) ---------------
+    def purge_hints(self, transaction_id):
+        """Which waiting operations a GTM purge of *transaction_id* can
+        enable.  Every dependency incident to it has its site among the
+        transaction's own TSGD sites, so deleting the node enables only
+        ser-operations waiting at those sites — plus fins, since incoming
+        dependencies from the departed transaction disappear.  If the
+        transaction never reached the TSGD the purge is a no-op."""
+        if not self.tsgd.has_transaction(transaction_id):
+            return []
+        hints = [
+            ("ser", None, site)
+            for site in self.tsgd.sites_of_sorted(transaction_id)
+        ]
+        hints.append(("fin", None, None))
+        return hints

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import fastpath
 from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.scheme import ConservativeScheme
 from repro.exceptions import SchedulerError
@@ -46,16 +47,35 @@ from repro.exceptions import SchedulerError
 
 class Scheme3(ConservativeScheme):
     """``ser_bef`` bookkeeping; permits the set of all serializable
-    schedules at O(n²·dav)."""
+    schedules at O(n²·dav).
+
+    With ``indexed`` (the default fast path) a reverse membership index
+    ``after(t) = {others whose ser_bef contains t}`` replaces the
+    all-transactions scans of ``act(ser)`` and ``act(fin)``, and
+    ``cond(ser)`` becomes a set intersection.  Decisions and resulting
+    ``ser_bef`` state are identical to the legacy scans; ``metrics.steps``
+    still charges the paper-model scan cost (Theorem 9's measure must not
+    silently improve), while the real work saved is attributed to
+    ``metrics.dfs_steps_avoided``.
+    """
 
     name = "scheme3"
 
-    def __init__(self, transitive_update: bool = True) -> None:
+    def __init__(
+        self,
+        transitive_update: bool = True,
+        indexed: Optional[bool] = None,
+    ) -> None:
         """``transitive_update=False`` disables the ``Set_2`` propagation
         — an *unsound* ablation used by tests and benches to show the
-        update is load-bearing."""
+        update is load-bearing.  ``indexed`` overrides the process-global
+        :mod:`repro.fastpath` toggle (``None`` = follow it)."""
         super().__init__()
         self._transitive_update = transitive_update
+        self._indexed = fastpath.resolve(indexed)
+        #: reverse index: entry t -> transactions whose ser_bef holds t
+        #: (maintained only on the indexed fast path)
+        self._after_index: Dict[str, Set[str]] = {}
         #: ser_bef(G_i): transactions serialized before G_i
         self._ser_bef: Dict[str, Set[str]] = {}
         #: per site: transactions whose ser_k executed, in execution
@@ -92,6 +112,11 @@ class Scheme3(ConservativeScheme):
                     before.add(predecessor)
                 before.add(last)
         self._ser_bef[transaction_id] = before
+        if self._indexed:
+            for entry in before:
+                self._after_index.setdefault(entry, set()).add(
+                    transaction_id
+                )
 
     # -- ser -----------------------------------------------------------------
     def cond_ser(self, operation: Ser) -> bool:
@@ -105,7 +130,14 @@ class Scheme3(ConservativeScheme):
         if last is not None and (last, site) not in self._acked:
             return False
         waiting_here = self._set.get(site, set())
-        for predecessor in self._ser_bef[transaction_id]:
+        before = self._ser_bef[transaction_id]
+        if self._indexed:
+            # paper-model cost: the full ser_bef scan (Theorem 9)
+            self.metrics.step(len(before))
+            blockers = before & waiting_here
+            blockers.discard(transaction_id)
+            return not blockers
+        for predecessor in before:
             self.metrics.step()
             if predecessor != transaction_id and predecessor in waiting_here:
                 return False
@@ -122,14 +154,31 @@ class Scheme3(ConservativeScheme):
         # transactions serialized after some member of set_k inherit Set_1
         targets = set(members)
         if self._transitive_update:
-            for other, other_before in self._ser_bef.items():
-                self.metrics.step()
-                if other_before & members:
-                    targets.add(other)
-        for target in targets:
+            if self._indexed:
+                # reverse-index union replaces the all-transactions scan;
+                # charge the paper-model scan cost regardless
+                self.metrics.step(len(self._ser_bef))
+                for member in members:
+                    targets.update(self._after_index.get(member, ()))
+                self.metrics.dfs_steps_avoided += max(
+                    0, len(self._ser_bef) - len(members)
+                )
+            else:
+                for other, other_before in self._ser_bef.items():
+                    self.metrics.step()
+                    if other_before & members:
+                        targets.add(other)
+        if self._indexed:
+            self.metrics.step(len(targets) * len(set_one))
+            for target in targets:
+                self._ser_bef[target] |= set_one
             for entry in set_one:
-                self.metrics.step()
-                self._ser_bef[target].add(entry)
+                self._after_index.setdefault(entry, set()).update(targets)
+        else:
+            for target in targets:
+                for entry in set_one:
+                    self.metrics.step()
+                    self._ser_bef[target].add(entry)
         self.submit(operation)
 
     # -- ack -----------------------------------------------------------------
@@ -145,11 +194,41 @@ class Scheme3(ConservativeScheme):
 
     def act_fin(self, operation: Fin) -> None:
         transaction_id = operation.transaction_id
-        for other_before in self._ser_bef.values():
-            self.metrics.step()
-            other_before.discard(transaction_id)
+        if self._indexed:
+            self._discard_entry(transaction_id)
+        else:
+            for other_before in self._ser_bef.values():
+                self.metrics.step()
+                other_before.discard(transaction_id)
+        self._drop_owner(transaction_id)
         del self._ser_bef[transaction_id]
         self._forget(transaction_id)
+
+    def _discard_entry(self, transaction_id: str) -> None:
+        """Indexed equivalent of the all-transactions discard scan:
+        touch only the ser_bef sets that actually hold the entry, but
+        charge the paper-model scan cost."""
+        self.metrics.step(len(self._ser_bef))
+        holders = self._after_index.pop(transaction_id, ())
+        for holder in holders:
+            before = self._ser_bef.get(holder)
+            if before is not None:
+                before.discard(transaction_id)
+        self.metrics.dfs_steps_avoided += max(
+            0, len(self._ser_bef) - len(holders)
+        )
+
+    def _drop_owner(self, transaction_id: str) -> None:
+        """Unregister a departing transaction's own ser_bef entries from
+        the reverse index."""
+        if not self._indexed:
+            return
+        for entry in self._ser_bef.get(transaction_id, ()):
+            holders = self._after_index.get(entry)
+            if holders is not None:
+                holders.discard(transaction_id)
+                if not holders:
+                    del self._after_index[entry]
 
     def _forget(self, transaction_id: str) -> None:
         for site in self._sites.pop(transaction_id, ()):
@@ -178,10 +257,33 @@ class Scheme3(ConservativeScheme):
         over-approximation (it can only delay, never mis-order) — and the
         per-site executed-order list reverts ``last_k`` to the previous
         still-registered executor."""
+        self._drop_owner(transaction_id)
         self._ser_bef.pop(transaction_id, None)
-        for other_before in self._ser_bef.values():
-            other_before.discard(transaction_id)
+        if self._indexed:
+            holders = self._after_index.pop(transaction_id, ())
+            for holder in holders:
+                before = self._ser_bef.get(holder)
+                if before is not None:
+                    before.discard(transaction_id)
+        else:
+            for other_before in self._ser_bef.values():
+                other_before.discard(transaction_id)
         self._forget(transaction_id)
+
+    # -- purge hints (targeted post-abort WAIT drain; see Engine) ---------------
+    def purge_hints(self, transaction_id):
+        """Which waiting operations a GTM purge of *transaction_id* can
+        enable: removing it shrinks ``set_k``/``last_k``/``acked`` only
+        at its own sites (enabling ser-operations there) and discards it
+        from other transactions' ``ser_bef`` (enabling fins).  A purge of
+        a transaction whose ``init`` was never processed leaves the
+        scheme state untouched, so nothing can have been enabled."""
+        sites = self._sites.get(transaction_id)
+        if sites is None:
+            return []
+        hints = [("ser", None, site) for site in sorted(set(sites))]
+        hints.append(("fin", None, None))
+        return hints
 
     # -- inspection (tests) ----------------------------------------------------
     def serialized_before(self, transaction_id: str) -> frozenset:

@@ -1,0 +1,50 @@
+"""Feature toggles for the incremental fast paths.
+
+Every optimisation added by the performance layer (incremental
+serialization-graph maintenance in SGT, Scheme 3's reverse ``ser_bef``
+index, the engine's targeted post-purge drain) is behaviour-preserving:
+with the toggle on or off, runs produce identical schedules, decisions
+and verification reports — only wall-clock and internal step/op counters
+differ.  The toggle exists so the equivalence suite and the ``repro
+bench`` trajectory harness can run the *legacy* path on demand and diff
+it against the fast path on the same seeds.
+
+The default is process-global (workers of the parallel sweep set it once
+before running their cells); individual components also accept an
+explicit constructor override.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_ENABLED = True
+
+
+def enabled() -> bool:
+    """Whether the incremental fast paths are on (process-global)."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+def resolve(override: Optional[bool] = None) -> bool:
+    """The effective setting for one component: an explicit constructor
+    argument wins, otherwise the process-global default applies."""
+    return _ENABLED if override is None else bool(override)
+
+
+@contextmanager
+def forced(value: bool) -> Iterator[None]:
+    """Temporarily force the global toggle (equivalence tests)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(value)
+    try:
+        yield
+    finally:
+        _ENABLED = previous

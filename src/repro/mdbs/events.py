@@ -3,6 +3,14 @@
 A tiny heap-driven event loop: events are ``(time, sequence, action)``
 triples; ties break on the insertion sequence number, so a run is fully
 determined by its seed and schedule of insertions.
+
+Cancellation is O(1) and leak-free: ``ScheduledEvent.cancel`` drops the
+closed-over action immediately (a cancelled ack-timeout timer must not
+pin a dead server in memory until its time arrives), the loop keeps a
+live counter so ``pending`` never scans the heap, and once cancelled
+entries outnumber live ones the heap is compacted in place — preserving
+the ``(time, sequence)`` order exactly, so compaction can never change a
+run's outcome.
 """
 
 from __future__ import annotations
@@ -12,16 +20,21 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from repro import fastpath
 from repro.exceptions import ReproError
 
 Action = Callable[[], None]
+
+#: compaction only kicks in past this heap size — tiny heaps rebuild in
+#: noise time anyway and the churn would dominate
+_COMPACT_MIN = 64
 
 
 class SimulationError(ReproError):
     """The event loop was driven past its configured horizon."""
 
 
-@dataclass
+@dataclass(slots=True)
 class ScheduledEvent:
     """A handle to a pending event; ``cancel()`` makes it a no-op.
 
@@ -30,22 +43,45 @@ class ScheduledEvent:
     filtered by flag checks."""
 
     time: float
-    action: Action
+    action: Optional[Action]
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+    _loop: Optional["EventLoop"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def cancel(self) -> None:
+        # cancelling a fired timer is a common benign race (an ack
+        # arrives after its timeout already went off) — it must not
+        # touch the loop's live-event accounting
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        # drop the action now: a cancelled timer's closure must not keep
+        # servers/participants reachable until the heap pops it
+        self.action = None
+        if self._loop is not None:
+            self._loop._note_cancelled()
 
 
 class EventLoop:
     """A deterministic future-event list."""
 
-    def __init__(self) -> None:
+    def __init__(self, fast: Optional[bool] = None) -> None:
         self._heap: List[Tuple[float, int, ScheduledEvent]] = []
         self._sequence = itertools.count()
         self._now = 0.0
+        #: fast-path toggle, resolved at construction: when off, the
+        #: loop reproduces the legacy behaviour — ``pending`` scans the
+        #: heap and cancelled entries are never compacted away
+        self._fast = fastpath.resolve(fast)
+        #: non-cancelled events still in the heap (kept exact by
+        #: push/pop/cancel so ``pending`` is O(1))
+        self._live = 0
         #: events executed so far
         self.executed = 0
+        #: heap compactions performed (instrumentation)
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -65,12 +101,35 @@ class EventLoop:
         return self._push(time, action)
 
     def _push(self, time: float, action: Action) -> ScheduledEvent:
-        event = ScheduledEvent(time, action)
+        event = ScheduledEvent(time, action, _loop=self)
         heapq.heappush(self._heap, (time, next(self._sequence), event))
+        self._live += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        if (
+            self._fast
+            and len(self._heap) > _COMPACT_MIN
+            and self._live * 2 < len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries.  Entries keep their ``(time, seq)``
+        keys, and ``heapify`` of the filtered list reproduces the exact
+        pop order, so this is invisible to the simulation."""
+        self._heap = [
+            entry for entry in self._heap if not entry[2].cancelled
+        ]
+        heapq.heapify(self._heap)
+        self.compactions += 1
 
     @property
     def pending(self) -> int:
+        if self._fast:
+            return self._live
+        # legacy path: the pre-fast-path full heap scan
         return sum(1 for _, _, event in self._heap if not event.cancelled)
 
     def run(
@@ -87,8 +146,12 @@ class EventLoop:
             heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._live -= 1
             self._now = time
-            event.action()
+            action = event.action
+            event.fired = True
+            event.action = None  # fired events release their closure too
+            action()
             self.executed += 1
             if self.executed > max_events:
                 raise SimulationError(

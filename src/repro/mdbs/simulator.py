@@ -167,6 +167,18 @@ class SimulationReport:
     commit_latencies: Tuple[float, ...] = ()
     #: resolved in-doubt window lengths across all participants (E11)
     in_doubt_times: Tuple[float, ...] = ()
+    # -- scheduling-cost attribution (perf fast paths; see
+    # -- docs/performance.md) ------------------------------------------
+    #: structural graph/index mutations: scheme-level (TSGD, ser_bef
+    #: index) plus per-site incremental serialization graphs
+    graph_ops: int = 0
+    #: DFS / scan work the incremental paths did not re-execute,
+    #: estimated against the legacy restart-from-scratch cost
+    dfs_steps_avoided: int = 0
+    #: waiting operations the targeted post-purge drain never re-examined
+    wake_retries_skipped: int = 0
+    #: events executed by the simulation loop
+    events_executed: int = 0
 
     @property
     def throughput(self) -> float:
@@ -347,6 +359,14 @@ class MDBSSimulator:
                 for site in sorted(self.participants)
                 for window in self.participants[site].in_doubt_times
             )
+        site_graph_ops = sum(
+            getattr(db.protocol, "graph_ops", 0)
+            for db in self.sites.values()
+        )
+        site_dfs_avoided = sum(
+            getattr(db.protocol, "dfs_steps_avoided", 0)
+            for db in self.sites.values()
+        )
         return SimulationReport(
             duration=self.loop.now,
             committed_global=len(self.committed_global),
@@ -366,6 +386,14 @@ class MDBSSimulator:
             commit_stats=self.commit_stats,
             commit_latencies=tuple(self.commit_latencies),
             in_doubt_times=in_doubt,
+            graph_ops=self.scheme.metrics.graph_ops + site_graph_ops,
+            dfs_steps_avoided=(
+                self.scheme.metrics.dfs_steps_avoided + site_dfs_avoided
+            ),
+            wake_retries_skipped=(
+                self.scheme.metrics.wake_retries_skipped
+            ),
+            events_executed=self.loop.executed,
         )
 
     def _watchdog_interval(self) -> float:

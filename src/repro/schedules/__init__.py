@@ -59,6 +59,7 @@ from repro.schedules.serialization_functions import (
     TicketSerializationFunction,
     strategy_for_protocol,
 )
+from repro.schedules.incremental_digraph import IncrementalDigraph
 from repro.schedules.serialization_graph import (
     DirectedGraph,
     serialization_graph,
@@ -110,6 +111,7 @@ __all__ = [
     "TicketSerializationFunction",
     "strategy_for_protocol",
     "DirectedGraph",
+    "IncrementalDigraph",
     "serialization_graph",
     "union_graph",
 ]

@@ -66,9 +66,20 @@ class Operation:
     item: Optional[str] = None
     site: Optional[str] = None
     seq: int = field(default_factory=lambda: next(_operation_sequence))
+    # type flags, precomputed once: operations are immutable and these
+    # are consulted in every conflict scan, so recomputing the enum
+    # membership per query dominated the verifier's profile.  Excluded
+    # from compare/repr, so equality, hashing and printing are exactly
+    # the four-field (plus seq) behaviour they always were.
+    is_read: bool = field(init=False, compare=False, repr=False)
+    is_write: bool = field(init=False, compare=False, repr=False)
+    accesses_data: bool = field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         accesses_data = self.op_type in DATA_OPS
+        object.__setattr__(self, "is_read", self.op_type is OpType.READ)
+        object.__setattr__(self, "is_write", self.op_type is OpType.WRITE)
+        object.__setattr__(self, "accesses_data", accesses_data)
         if accesses_data and self.item is None:
             raise ScheduleError(
                 f"{self.op_type.name} operation of {self.transaction_id!r} "
@@ -79,18 +90,6 @@ class Operation:
                 f"{self.op_type.name} operation of {self.transaction_id!r} "
                 "must not name a data item"
             )
-
-    @property
-    def is_read(self) -> bool:
-        return self.op_type is OpType.READ
-
-    @property
-    def is_write(self) -> bool:
-        return self.op_type is OpType.WRITE
-
-    @property
-    def accesses_data(self) -> bool:
-        return self.op_type in DATA_OPS
 
     def conflicts_with(self, other: "Operation") -> bool:
         """Two operations conflict if they belong to different transactions,

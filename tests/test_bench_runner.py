@@ -1,0 +1,163 @@
+"""The perf-trajectory bench harness: determinism, JSON, regression gate.
+
+The grid must merge parallel-worker results in fixed order and produce
+byte-identical cells for any worker count; the JSON artifact must carry
+the before/after columns; and the regression gate must fail loudly both
+on throughput drops and on baselines with nothing to compare.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import bench
+
+
+def _tiny_specs(**overrides):
+    kwargs = dict(
+        schemes=("scheme3",),
+        mpl_values=(4,),
+        seeds=(7, 8),
+        experiment="E4",
+        fast_paths=True,
+    )
+    kwargs.update(overrides)
+    return bench.make_specs(**kwargs)
+
+
+def _strip_wall(cells):
+    """Everything except the wall-clock measurements, which legitimately
+    vary between runs/workers."""
+    return [
+        {
+            key: value
+            for key, value in cell.items()
+            if key not in ("wall_s", "events_per_sec")
+        }
+        for cell in cells
+    ]
+
+
+def test_make_specs_fixed_order():
+    specs = bench.make_specs(
+        schemes=("scheme2", "scheme3"), mpl_values=(4, 8), seeds=(7,)
+    )
+    assert [(s["scheme"], s["mpl"]) for s in specs] == [
+        ("scheme2", 4),
+        ("scheme2", 8),
+        ("scheme3", 4),
+        ("scheme3", 8),
+    ]
+    assert all(s["fast_paths"] for s in specs)
+
+
+def test_cell_is_deterministic():
+    spec = _tiny_specs()[0]
+    assert _strip_wall([bench.run_cell(spec)]) == _strip_wall(
+        [bench.run_cell(spec)]
+    )
+
+
+def test_serial_equals_parallel():
+    specs = _tiny_specs() + _tiny_specs(fast_paths=False)
+    serial = bench.run_grid(specs, workers=1)
+    parallel = bench.run_grid(specs, workers=2)
+    assert _strip_wall(serial) == _strip_wall(parallel)
+
+
+def test_fast_and_legacy_cells_agree_behaviourally():
+    fast = bench.run_cell(_tiny_specs()[0])
+    legacy = bench.run_cell(_tiny_specs(fast_paths=False)[0])
+    for field in (
+        "throughput",
+        "mean_response_time",
+        "committed",
+        "duration",
+        "events",
+    ):
+        assert fast[field] == legacy[field], field
+
+
+def test_emit_and_load_json(tmp_path):
+    results = [bench.run_cell(spec) for spec in _tiny_specs(seeds=(7,))]
+    path = tmp_path / "BENCH_t.json"
+    bench.emit_json(results, str(path), meta={"note": "test"})
+    data = bench.load_json(str(path))
+    assert data["meta"] == {"note": "test"}
+    assert _strip_wall(data["cells"]) == _strip_wall(results)
+    # cells carry the scheduling-cost attribution counters
+    cell = data["cells"][0]
+    for key in (
+        "throughput",
+        "mean_response_time",
+        "wall_s",
+        "events_per_sec",
+        "scheme_steps",
+        "graph_ops",
+        "dfs_steps_avoided",
+        "wake_retries_skipped",
+    ):
+        assert key in cell
+    # and the file is valid, pretty-printed JSON
+    assert json.loads(path.read_text())["cells"]
+
+
+def _cell(scheme="scheme3", mpl=16, seed=7, tput=10.0, fast=True):
+    return {
+        "experiment": "E4",
+        "scheme": scheme,
+        "mpl": mpl,
+        "seed": seed,
+        "fast_paths": fast,
+        "throughput": tput,
+    }
+
+
+def test_check_regression_passes_within_threshold():
+    baseline = [_cell(tput=10.0)]
+    current = [_cell(tput=8.5)]  # -15% > threshold floor of -20%
+    assert bench.check_regression(current, baseline, threshold=0.2) == []
+
+
+def test_check_regression_fails_on_drop():
+    baseline = [_cell(tput=10.0)]
+    current = [_cell(tput=7.9)]  # -21%
+    failures = bench.check_regression(current, baseline, threshold=0.2)
+    assert len(failures) == 1
+    assert "seed=7" in failures[0]
+
+
+def test_check_regression_ignores_other_cells():
+    baseline = [_cell(tput=10.0)]
+    current = [
+        _cell(tput=10.0),
+        _cell(seed=9, tput=1.0),  # not in the baseline: skipped
+        _cell(mpl=4, tput=1.0),  # wrong mpl: not gated
+        _cell(fast=False, tput=1.0),  # legacy column: not gated
+    ]
+    assert bench.check_regression(current, baseline) == []
+
+
+def test_check_regression_no_comparable_cells_is_a_failure():
+    failures = bench.check_regression(
+        [_cell(scheme="scheme2")], [_cell(seed=99)]
+    )
+    assert failures and "no comparable" in failures[0]
+
+
+def test_committed_trajectory_is_self_consistent():
+    """The committed BENCH_3.json gates against itself and its fast and
+    legacy columns agree on behaviour (the before/after contract)."""
+    data = bench.load_json("BENCH_3.json")
+    cells = data["cells"]
+    assert bench.check_regression(cells, cells) == []
+    paired = {}
+    for cell in cells:
+        key = (cell["experiment"], cell["scheme"], cell["mpl"], cell["seed"])
+        paired.setdefault(key, {})[cell["fast_paths"]] = cell
+    assert paired, "trajectory file has no cells"
+    for key, pair in paired.items():
+        assert set(pair) == {True, False}, f"{key} missing a column"
+        for field in ("throughput", "mean_response_time", "committed",
+                      "duration", "events"):
+            assert pair[True][field] == pair[False][field], (key, field)

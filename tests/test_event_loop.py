@@ -1,0 +1,137 @@
+"""EventLoop fast paths: O(1) pending, leak-free cancel, compaction.
+
+The loop must behave identically with the fast paths on and off; the
+fast mode additionally keeps ``pending`` away from heap scans and
+compacts cancelled entries without ever changing the pop order.
+"""
+
+import random
+
+import pytest
+
+from repro import fastpath
+from repro.mdbs.events import _COMPACT_MIN, EventLoop, SimulationError
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_pending_counts_only_live_events(fast):
+    loop = EventLoop(fast=fast)
+    events = [loop.schedule(float(i), lambda: None) for i in range(10)]
+    assert loop.pending == 10
+    for event in events[:4]:
+        event.cancel()
+    assert loop.pending == 6
+    loop.run(until=4.0)
+    # t in {0..4} scheduled 5 events, of which 4 were cancelled
+    assert loop.executed == 1
+    assert loop.pending == 5
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_cancel_releases_action_closure(fast):
+    loop = EventLoop(fast=fast)
+    fired = []
+    event = loop.schedule(1.0, lambda: fired.append(1))
+    assert event.action is not None
+    event.cancel()
+    # the closed-over action is dropped immediately: a cancelled
+    # ack-timeout timer must not pin a dead server until its time
+    assert event.action is None
+    event.cancel()  # idempotent
+    loop.run()
+    assert fired == []
+    assert loop.pending == 0
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_cancel_after_fire_is_a_noop(fast):
+    loop = EventLoop(fast=fast)
+    fired = []
+    event = loop.schedule(1.0, lambda: fired.append(1))
+    loop.run()
+    assert fired == [1]
+    assert event.fired and event.action is None
+    before = loop.pending
+    event.cancel()  # benign race: the ack arrived after the timeout
+    assert not event.cancelled
+    assert loop.pending == before
+
+
+def test_fired_event_releases_action_closure():
+    loop = EventLoop(fast=True)
+    event = loop.schedule(0.5, lambda: None)
+    loop.run()
+    assert event.action is None
+
+
+def test_compaction_triggers_and_preserves_order():
+    loop = EventLoop(fast=True)
+    rng = random.Random(7)
+    times = [rng.uniform(0, 100) for _ in range(4 * _COMPACT_MIN)]
+    order = []
+    events = [
+        loop.schedule(time, lambda t=time: order.append(t))
+        for time in times
+    ]
+    doomed = rng.sample(events, 3 * _COMPACT_MIN)
+    for event in doomed:
+        event.cancel()
+    assert loop.compactions > 0
+    assert len(loop._heap) < len(times)
+    loop.run()
+    kept = sorted(
+        event.time for event in events if event not in doomed
+    )
+    assert order == kept
+
+
+def test_legacy_mode_never_compacts():
+    loop = EventLoop(fast=False)
+    events = [
+        loop.schedule(float(i), lambda: None)
+        for i in range(4 * _COMPACT_MIN)
+    ]
+    for event in events:
+        event.cancel()
+    assert loop.compactions == 0
+    assert len(loop._heap) == len(events)
+    assert loop.pending == 0
+
+
+def test_fast_and_legacy_same_execution_trace():
+    def drive(fast):
+        loop = EventLoop(fast=fast)
+        trace = []
+        rng = random.Random(13)
+        handles = []
+
+        def tick(label):
+            trace.append((loop.now, label))
+            if rng.random() < 0.4 and handles:
+                handles.pop(rng.randrange(len(handles))).cancel()
+            if rng.random() < 0.6:
+                label2 = f"{label}+"
+                handles.append(
+                    loop.schedule(
+                        rng.uniform(0, 5), lambda l=label2: tick(l)
+                    )
+                )
+
+        for i in range(100):
+            handles.append(
+                loop.schedule(
+                    rng.uniform(0, 50), lambda l=f"e{i}": tick(l)
+                )
+            )
+        loop.run()
+        return trace, loop.executed, loop.now
+
+    assert drive(True) == drive(False)
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop(fast=True)
+    with pytest.raises(SimulationError):
+        loop.schedule(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        loop.schedule_at(-1.0, lambda: None)

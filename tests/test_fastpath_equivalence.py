@@ -1,0 +1,235 @@
+"""The fast paths are behaviour-preserving: legacy-mode replays.
+
+Every optimisation behind :mod:`repro.fastpath` must leave schedules,
+scheme decisions, and verification reports byte-identical — only
+wall-clock and the scheduling-cost attribution counters may differ.
+These tests force the toggle both ways on the same seeds and diff:
+
+- the full E4 simulation cells of the regression seeds (scheme2 and
+  scheme3 over the four heterogeneous site protocols, SGT included),
+  comparing executed local schedules, ``ser(S)``, reports, and
+  verification reports;
+- randomized TSGD scripts (insert/dependency/remove/Eliminate_Cycles
+  interleavings), comparing every Δ and the final dependency set;
+- chaos runs with crashes and message faults (the purge/abort and
+  recovery paths).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import fastpath
+from repro.core import make_scheme
+from repro.core.tsgd import TSGD
+from repro.faults.chaos import ChaosOptions, run_chaos
+from repro.lmdbs import LocalDBMS, make_protocol
+from repro.mdbs import MDBSSimulator, SimulationConfig, verify
+from repro.workloads import WorkloadConfig, WorkloadGenerator
+
+E4_PROTOCOLS = ("strict-2pl", "to", "conservative-2pl", "sgt")
+
+#: SimulationReport fields that define behaviour (the step/op counters
+#: are analytic instrumentation and legitimately differ between the
+#: paths — the closure form of Eliminate_Cycles does not re-charge the
+#: legacy walk's backtracking overhead)
+BEHAVIOURAL_FIELDS = (
+    "throughput",
+    "mean_response_time",
+    "committed_global",
+    "global_aborts",
+    "duration",
+    "events_executed",
+)
+
+
+def _run_e4(scheme_name, mpl, seed):
+    cfg = WorkloadConfig(
+        sites=len(E4_PROTOCOLS),
+        items_per_site=12,
+        dav=2.0,
+        ops_per_site=2,
+        seed=seed,
+    )
+    gen = WorkloadGenerator(cfg)
+    sites = {
+        site: LocalDBMS(site, make_protocol(protocol))
+        for site, protocol in zip(cfg.site_names, E4_PROTOCOLS)
+    }
+    sim = MDBSSimulator(
+        sites, make_scheme(scheme_name), SimulationConfig(), seed=seed
+    )
+    for index, program in enumerate(gen.global_batch(3 * mpl)):
+        sim.submit_global(program, at=(index // mpl) * 40.0)
+    report = sim.run()
+    schedule = sim.global_schedule()
+    return {
+        "report": {
+            field: getattr(report, field) for field in BEHAVIOURAL_FIELDS
+        },
+        "schedules": _normalized_schedules(schedule),
+        "ser": tuple(sim.ser_schedule.operations),
+        "verification": verify(schedule, sim.ser_schedule),
+    }
+
+
+def _normalized_schedules(schedule):
+    """Per-site operation tuples with ``Operation.seq`` — a process-global
+    allocation counter, so runs later in the same process start higher —
+    rewritten to its rank within this run."""
+    site_ops = {
+        site: tuple(schedule.local_schedule(site))
+        for site in schedule.sites
+    }
+    rank = {
+        seq: position
+        for position, seq in enumerate(
+            sorted(
+                operation.seq
+                for operations in site_ops.values()
+                for operation in operations
+            )
+        )
+    }
+    return {
+        site: tuple(
+            dataclasses.replace(operation, seq=rank[operation.seq])
+            for operation in operations
+        )
+        for site, operations in site_ops.items()
+    }
+
+
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+@pytest.mark.parametrize("seed", [7, 8, 9, 10])
+def test_e4_cell_identical_across_paths(scheme_name, seed):
+    """The regression seeds: identical schedules, ser(S), reports and
+    verification verdicts with the fast paths on and off (MPL 8 keeps
+    contention — waits, wakes, aborts — while staying quick)."""
+    with fastpath.forced(True):
+        fast = _run_e4(scheme_name, 8, seed)
+    with fastpath.forced(False):
+        legacy = _run_e4(scheme_name, 8, seed)
+    assert fast["report"] == legacy["report"]
+    assert fast["schedules"] == legacy["schedules"]
+    assert fast["ser"] == legacy["ser"]
+    assert fast["verification"] == legacy["verification"]
+
+
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+def test_e4_high_contention_identical_across_paths(scheme_name):
+    """MPL 16 exercises the abort/purge/re-submit paths (the E4 grid
+    point the perf gate watches)."""
+    with fastpath.forced(True):
+        fast = _run_e4(scheme_name, 16, 7)
+    with fastpath.forced(False):
+        legacy = _run_e4(scheme_name, 16, 7)
+    assert fast == legacy
+
+
+def _run_tsgd_script(script, fast):
+    tsgd = TSGD(fast=fast)
+    trace = []
+    for op in script:
+        kind = op[0]
+        if kind == "ins":
+            tsgd.insert_transaction(op[1], op[2])
+        elif kind == "rem":
+            tsgd.remove_transaction(op[1])
+        elif kind == "dep":
+            tsgd.add_dependency(op[1], op[2], op[3])
+        else:  # elim
+            delta = tsgd.eliminate_cycles(op[1])
+            trace.append((op[1], tuple(sorted(delta))))
+            tsgd.add_dependencies(sorted(delta))
+    trace.append(("deps", tuple(sorted(tsgd.dependencies))))
+    return trace
+
+
+def _random_tsgd_script(rng):
+    nsites = rng.randint(2, 6)
+    sites = [f"s{i}" for i in range(nsites)]
+    live, script, counter = [], [], 0
+    for _ in range(rng.randint(10, 60)):
+        roll = rng.random()
+        if roll < 0.35 or not live:
+            tid = f"T{counter}"
+            counter += 1
+            chosen = rng.sample(sites, rng.randint(1, nsites))
+            script.append(("ins", tid, tuple(chosen)))
+            live.append((tid, chosen))
+        elif roll < 0.5 and len(live) > 1:
+            first = rng.choice(live)
+            others = [
+                entry
+                for entry in live
+                if entry[0] != first[0] and set(entry[1]) & set(first[1])
+            ]
+            if others:
+                second = rng.choice(others)
+                shared = sorted(set(first[1]) & set(second[1]))
+                script.append(
+                    ("dep", first[0], rng.choice(shared), second[0])
+                )
+        elif roll < 0.65:
+            victim = rng.choice(live)
+            live.remove(victim)
+            script.append(("rem", victim[0]))
+        else:
+            script.append(("elim", rng.choice(live)[0]))
+    return script
+
+
+def test_tsgd_eliminate_cycles_delta_equivalence():
+    """The closed-form Eliminate_Cycles returns the exact Δ of the
+    legacy Figure 4 walk on randomized interleaved scripts."""
+    for trial in range(300):
+        script = _random_tsgd_script(random.Random(trial))
+        fast = _run_tsgd_script(script, fast=True)
+        legacy = _run_tsgd_script(script, fast=False)
+        assert fast == legacy, f"trial {trial} diverged"
+
+
+def test_tsgd_fast_steps_are_deterministic():
+    """The fast path's analytic step charges must not depend on hash
+    order (the legacy walk's already are deterministic by sorted
+    scans)."""
+    script = _random_tsgd_script(random.Random(1234))
+
+    def steps():
+        tsgd = TSGD(fast=True)
+        for op in script:
+            if op[0] == "ins":
+                tsgd.insert_transaction(op[1], op[2])
+            elif op[0] == "rem":
+                tsgd.remove_transaction(op[1])
+            elif op[0] == "dep":
+                tsgd.add_dependency(op[1], op[2], op[3])
+            else:
+                tsgd.add_dependencies(sorted(tsgd.eliminate_cycles(op[1])))
+        return tsgd._metrics.steps
+
+    assert len({steps() for _ in range(5)}) == 1
+
+
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+@pytest.mark.parametrize("seed", [11, 23])
+def test_chaos_runs_identical_across_paths(scheme_name, seed):
+    """Crash + message-fault storms drive the purge, abort and recovery
+    paths; outcomes and verdicts must match across the toggle."""
+    options = ChaosOptions(scheme=scheme_name, gtm_crash_count=1,
+                           site_crash_count=1)
+    with fastpath.forced(True):
+        fast = run_chaos(options, seed)
+    with fastpath.forced(False):
+        legacy = run_chaos(options, seed)
+    assert fast.ok == legacy.ok
+    assert fast.terminated == legacy.terminated
+    assert fast.unresolved == legacy.unresolved
+    assert fast.verification == legacy.verification
+    assert fast.exactly_once == legacy.exactly_once
+    for field in BEHAVIOURAL_FIELDS:
+        assert getattr(fast.report, field) == getattr(
+            legacy.report, field
+        ), field

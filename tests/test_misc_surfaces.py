@@ -49,6 +49,9 @@ class TestSchemeMetrics:
             "wait_ticks",
             "transactions",
             "steps_per_txn",
+            "graph_ops",
+            "dfs_steps_avoided",
+            "wake_retries_skipped",
         }
 
 
