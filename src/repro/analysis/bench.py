@@ -198,24 +198,27 @@ def check_regression(
     current: Iterable[Dict[str, Any]],
     baseline: Iterable[Dict[str, Any]],
     threshold: float = 0.2,
-    scheme: str = "scheme3",
+    schemes: Sequence[str] = ("scheme3",),
     mpl: int = 16,
     experiment: str = "E4",
 ) -> List[str]:
     """Compare throughput against the committed baseline.
 
-    Looks at the fast-path cells of (*experiment*, *scheme*, *mpl*)
-    present in both runs; a cell whose throughput fell more than
-    *threshold* (fractional) below the baseline is a failure.  Returns
-    the list of failure descriptions (empty = gate passes)."""
+    Looks at the fast-path cells of (*experiment*, scheme ∈ *schemes*,
+    *mpl*) present in both runs; a cell whose throughput fell more than
+    *threshold* (fractional) below the baseline is a failure, and so is
+    a gated scheme with no comparable cells at all — a gate that
+    silently compares nothing must not pass.  Returns the list of
+    failure descriptions (empty = gate passes)."""
     baseline_map = {_cell_key(cell): cell for cell in baseline}
     failures: List[str] = []
-    compared = 0
+    compared = {scheme: 0 for scheme in schemes}
     for cell in current:
         key = _cell_key(cell)
+        scheme = key[1]
         if (
             key[0] != experiment
-            or key[1] != scheme
+            or scheme not in compared
             or key[2] != mpl
             or not key[4]
         ):
@@ -223,7 +226,7 @@ def check_regression(
         reference = baseline_map.get(key)
         if reference is None:
             continue
-        compared += 1
+        compared[scheme] += 1
         floor = reference["throughput"] * (1.0 - threshold)
         if cell["throughput"] < floor:
             failures.append(
@@ -232,9 +235,10 @@ def check_regression(
                 f"{floor:.6f} (baseline {reference['throughput']:.6f}, "
                 f"threshold {threshold:.0%})"
             )
-    if compared == 0:
-        failures.append(
-            f"no comparable {experiment} {scheme}@mpl={mpl} cells between "
-            "current run and baseline"
-        )
+    for scheme, count in compared.items():
+        if count == 0:
+            failures.append(
+                f"no comparable {experiment} {scheme}@mpl={mpl} cells "
+                "between current run and baseline"
+            )
     return failures

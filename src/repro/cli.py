@@ -337,6 +337,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             results,
             bench.load_json(args.baseline).get("cells", []),
             threshold=args.max_regression,
+            schemes=args.schemes,
         )
         if failures:
             for line in failures:

@@ -27,7 +27,7 @@ DBMSs through the servers" means — the trace drivers
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro import fastpath
 from repro.core.events import Ack, Fin, Init, QueueOp, Ser
@@ -301,15 +301,19 @@ class Engine(SchemeContext):
         operations it *does* process are acted in exactly the order the
         full rescan would have used; non-matching operations — whose
         ``cond`` the purge cannot have changed — are skipped without
-        re-evaluation and counted as ``wake_retries_skipped``."""
+        re-evaluation and counted as ``wake_retries_skipped``.  Hints are
+        kept in a set probed by the four wildcard masks of an operation's
+        (kind, txn, site) key, so the match test stays O(1) however many
+        hints the drain accumulates."""
         processed = 0
+        hints = set(filters)
         progress = True
         while progress:
             progress = False
             for operation in list(self._wait.values()):
                 if id(operation) not in self._wait:
                     continue
-                if not self._matches(operation, filters):
+                if not self._matches(operation, hints):
                     self.scheme.metrics.wake_retries_skipped += 1
                     continue
                 if self.scheme.cond(operation):
@@ -324,22 +328,23 @@ class Engine(SchemeContext):
                     follow = self._hints_for(operation)
                     if follow is None or self._consume_rescan_request():
                         return processed + self._drain_full()
-                    filters.extend(follow)
+                    hints.update(follow)
         return processed
 
     @staticmethod
-    def _matches(operation: QueueOp, filters: List[WakeHint]) -> bool:
+    def _matches(operation: QueueOp, hints: "Set[WakeHint]") -> bool:
+        """Whether any hint covers the operation: a hint's None fields
+        are wildcards, so the operation's key can only be matched by one
+        of its four masked variants."""
         kind = operation.kind
         site = getattr(operation, "site", None)
         transaction_id = operation.transaction_id
-        for hint_kind, hint_txn, hint_site in filters:
-            if (
-                hint_kind == kind
-                and (hint_txn is None or hint_txn == transaction_id)
-                and (hint_site is None or hint_site == site)
-            ):
-                return True
-        return False
+        return (
+            (kind, transaction_id, site) in hints
+            or (kind, transaction_id, None) in hints
+            or (kind, None, site) in hints
+            or (kind, None, None) in hints
+        )
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro import fastpath
@@ -34,21 +33,39 @@ class SimulationError(ReproError):
     """The event loop was driven past its configured horizon."""
 
 
-@dataclass(slots=True)
 class ScheduledEvent:
     """A handle to a pending event; ``cancel()`` makes it a no-op.
 
     Cancellation is how the resilient servers disarm ack-timeout timers
     once the ack arrives, instead of letting dead timers fire and be
-    filtered by flag checks."""
+    filtered by flag checks.
 
-    time: float
-    action: Optional[Action]
-    cancelled: bool = field(default=False, compare=False)
-    fired: bool = field(default=False, compare=False)
-    _loop: Optional["EventLoop"] = field(
-        default=None, repr=False, compare=False
-    )
+    A plain ``__slots__`` class rather than ``@dataclass(slots=True)``:
+    the dataclass form needs Python >= 3.10 and this package supports
+    3.9, while the slot layout matters — the loop allocates one of these
+    per scheduled event."""
+
+    __slots__ = ("time", "action", "cancelled", "fired", "_loop")
+
+    def __init__(
+        self,
+        time: float,
+        action: Optional[Action],
+        cancelled: bool = False,
+        fired: bool = False,
+        _loop: Optional["EventLoop"] = None,
+    ) -> None:
+        self.time = time
+        self.action = action
+        self.cancelled = cancelled
+        self.fired = fired
+        self._loop = _loop
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduledEvent(time={self.time!r}, action={self.action!r}, "
+            f"cancelled={self.cancelled!r}, fired={self.fired!r})"
+        )
 
     def cancel(self) -> None:
         # cancelling a fired timer is a common benign race (an ack

@@ -26,7 +26,12 @@ first) when the new edge creates one.  Cycle-creating edges are kept in
 the graph (the edge set always equals what a ``DirectedGraph`` would
 hold) but are excluded from the order invariant; if later removals break
 their cycles the order is lazily repaired, so acyclicity queries stay
-exact under arbitrary edit scripts.
+exact under arbitrary edit scripts.  The report itself is exact too: a
+cycle that runs *through* an already-broken edge is invisible to the
+order-maintenance search (which skips broken edges by design), so when
+broken edges are present ``add_edge`` additionally tests reachability
+over the full edge set — callers that keep cyclic edges in the graph
+still get a correct answer for every insertion.
 """
 
 from __future__ import annotations
@@ -71,7 +76,7 @@ class IncrementalDigraph:
     def add_edge(
         self, source: Hashable, target: Hashable
     ) -> Optional[Tuple[Hashable, ...]]:
-        """Insert the edge; return ``None`` if the graph remains acyclic,
+        """Insert the edge; return ``None`` if no cycle runs through it,
         else a witness cycle created (or already closed) by this edge."""
         self.ops += 1
         self.add_node(source)
@@ -81,7 +86,7 @@ class IncrementalDigraph:
                 self._refresh()
                 if (source, target) in self._broken:
                     return self._witness(source, target)
-            return None
+            return self._cycle_through_broken(source, target)
         self._successors[source][target] = None
         self._predecessors[target][source] = None
         if source == target:
@@ -90,7 +95,10 @@ class IncrementalDigraph:
         cycle = self._place(source, target)
         if cycle is not None:
             self._broken[(source, target)] = None
-        return cycle
+            return cycle
+        # the edge placed cleanly, but a cycle through it may still close
+        # over an already-broken edge — the order search cannot see those
+        return self._cycle_through_broken(source, target)
 
     def remove_edge(self, source: Hashable, target: Hashable) -> None:
         self.ops += 1
@@ -207,6 +215,40 @@ class IncrementalDigraph:
                     changed = True
                 else:
                     self._broken[edge] = None
+
+    def _cycle_through_broken(
+        self, source: Hashable, target: Hashable
+    ) -> Optional[Tuple[Hashable, ...]]:
+        """A cycle closed by ``source -> target`` that runs through an
+        already-broken edge, if one exists.  The order-maintenance search
+        in :meth:`_place` skips broken edges (they are outside the order
+        invariant), so this full-edge-set reachability pass is what keeps
+        ``add_edge``'s report exact when the caller left cyclic edges in
+        the graph.  Free on the hot path: broken edges are removed
+        immediately by every scheduler consumer, so ``_broken`` is empty
+        and this is a single truthiness check.
+
+        The edge stays *clean* — it respects the maintained order, and
+        the broken edge it cycles through already records the graph's
+        cyclicity for :meth:`is_acyclic`/:meth:`_refresh`."""
+        if not self._broken:
+            return None
+        parent: Dict[Hashable, Optional[Hashable]] = {target: None}
+        stack: List[Hashable] = [target]
+        while stack:
+            node = stack.pop()
+            self.visited += 1
+            for successor in self._successors[node]:
+                if successor == source:
+                    path: List[Hashable] = [node]
+                    while parent[path[-1]] is not None:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    return (source, *path)
+                if successor not in parent:
+                    parent[successor] = node
+                    stack.append(successor)
+        return None
 
     def _witness(
         self, source: Hashable, target: Hashable

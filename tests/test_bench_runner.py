@@ -145,6 +145,25 @@ def test_check_regression_no_comparable_cells_is_a_failure():
     assert failures and "no comparable" in failures[0]
 
 
+def test_check_regression_gates_every_requested_scheme():
+    baseline = [_cell(scheme="scheme2", tput=10.0), _cell(tput=10.0)]
+    current = [_cell(scheme="scheme2", tput=7.9), _cell(tput=10.0)]
+    failures = bench.check_regression(
+        current, baseline, threshold=0.2, schemes=("scheme2", "scheme3")
+    )
+    assert len(failures) == 1 and "scheme2" in failures[0]
+    # a gated scheme missing from either run fails loudly, even when
+    # the other schemes compare fine
+    failures = bench.check_regression(
+        current,
+        [_cell(tput=10.0)],
+        schemes=("scheme2", "scheme3"),
+    )
+    assert any(
+        "no comparable" in line and "scheme2" in line for line in failures
+    )
+
+
 def test_committed_trajectory_is_self_consistent():
     """The committed BENCH_3.json gates against itself and its fast and
     legacy columns agree on behaviour (the before/after contract)."""

@@ -53,6 +53,21 @@ def _assert_agree(incremental, reference):
             incremental.topological_order()
 
 
+def _reachable(graph, origin, goal):
+    """Whether *goal* is reachable from *origin* over one or more edges."""
+    seen = set()
+    frontier = list(graph.successors(origin))
+    while frontier:
+        node = frontier.pop()
+        if node == goal:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(graph.successors(node))
+    return False
+
+
 def _random_script(rng, nodes, length):
     """An edge insert/delete/node-remove script over a small node pool
     (small enough that cycles form and break repeatedly)."""
@@ -77,9 +92,13 @@ def _apply(script, check_every):
         if op[0] == "add":
             witness = incremental.add_edge(op[1], op[2])
             reference.add_edge(op[1], op[2])
-            # add_edge reports: a witness iff the graph now has a cycle
-            # *through an edge marked broken*; at minimum a reported
-            # witness must be a real cycle right now
+            # add_edge's report is exact: a witness iff some cycle runs
+            # through this edge (equivalently, target reaches source),
+            # even when the cycle passes through earlier broken edges —
+            # and the witness must be a real cycle right now
+            assert (witness is not None) == _reachable(
+                reference, op[2], op[1]
+            ), f"inexact add_edge report for {op!r}"
             if witness is not None:
                 _assert_cycle_valid(reference, witness)
         elif op[0] == "del":
@@ -139,6 +158,27 @@ def test_removal_heals_cycles_lazily():
     # the once-broken edge is clean now: re-adding b->c closes the
     # cycle again
     assert graph.add_edge("b", "c") is not None
+
+
+def test_add_edge_sees_cycles_through_broken_edges():
+    """A caller that keeps cyclic edges in the graph still gets an exact
+    report: a new edge whose only cycle runs through an already-broken
+    edge must not be reported as acyclic."""
+    graph = IncrementalDigraph()
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    assert graph.add_edge("c", "a") is not None  # kept — graph stays cyclic
+    # a->c respects the maintained order (the placement search skips the
+    # broken c->a), but closes a 2-cycle through it
+    witness = graph.add_edge("a", "c")
+    assert witness is not None
+    _assert_cycle_valid(graph, witness)
+    # re-adding an existing clean edge on such a cycle reports it too
+    assert graph.add_edge("a", "b") is not None
+    # healing the broken edge removes every cycle here
+    graph.remove_edge("c", "a")
+    assert graph.is_acyclic()
+    assert graph.add_edge("a", "c") is None
 
 
 def test_remove_node_compacts_index_space():
