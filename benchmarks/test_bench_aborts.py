@@ -8,7 +8,6 @@ abort-based strawmen and reports abort rates — the paper expects ~0 for
 the former and a large, n-growing fraction for the latter.
 """
 
-import pytest
 
 from repro.baselines import OptimisticGTM, TimestampGTM, TwoPhaseLockingGTM
 from repro.core import Scheme0, Scheme1, Scheme2, Scheme3

@@ -13,7 +13,6 @@ Two measurements over the presumed-abort 2PC layer (``repro.commit``):
   simulated time, never committed transactions.
 """
 
-import pytest
 
 from repro.faults.chaos import ChaosOptions, run_chaos
 

@@ -6,7 +6,6 @@ The table reports ser-operation waits, aborts, and scheduling steps on a
 common trace population — the trade-off surface §§4–7 map out.
 """
 
-import pytest
 
 from repro.baselines import OptimisticTicketMethod, SiteGraphScheme
 from repro.core import Scheme0, Scheme1, Scheme2, Scheme3

@@ -14,7 +14,6 @@ over sweeps of n (concurrently active transactions) and dav, plus the
 fitted log-log growth exponents.
 """
 
-import pytest
 
 from repro.analysis.complexity import fit_exponent, measure, sweep
 from repro.core import Scheme0, Scheme1, Scheme2, Scheme3

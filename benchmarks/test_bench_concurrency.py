@@ -11,7 +11,6 @@ identical QUEUE insertion orders:
 - Scheme 3 has the lowest average waits of all.
 """
 
-import pytest
 
 from repro.analysis.concurrency import compare, dominance, mean_waits
 from repro.baselines import SiteGraphScheme

@@ -7,7 +7,6 @@ response time grows with dav for every scheme, and fastest for the most
 restrictive scheme (Scheme 0 sequences whole site queues).
 """
 
-import pytest
 
 from repro.core import make_scheme
 from repro.lmdbs import LocalDBMS, make_protocol

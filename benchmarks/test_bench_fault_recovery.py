@@ -12,7 +12,6 @@ Two measurements over the fault-injection subsystem
   turns loss into latency, never into lost or duplicated commits.
 """
 
-import pytest
 
 from repro.faults.chaos import ChaosOptions, build_chaos_simulator, run_chaos
 

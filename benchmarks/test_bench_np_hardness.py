@@ -13,9 +13,8 @@ Two empirical signatures on random TSGDs:
 import random
 import time
 
-import pytest
 
-from repro.core.tsgd import TSGD, is_minimal_delta, minimum_delta
+from repro.core.tsgd import TSGD, minimum_delta
 
 
 def random_tsgd(transactions, sites, dav, seed, consistent=True):

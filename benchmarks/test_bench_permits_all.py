@@ -7,7 +7,6 @@ must add *zero* ser-operations to WAIT; the BT-schemes — which a-priori
 restrict processing — do wait on many of them.
 """
 
-import pytest
 
 from repro.core import Scheme0, Scheme1, Scheme2, Scheme3
 from repro.workloads.traces import drive, serializable_order_trace

@@ -9,10 +9,8 @@ every ser-operation immediately) cycles appear on a measurable fraction
 of runs — the problem the paper exists to solve.
 """
 
-import pytest
 
 from repro.core import make_scheme
-from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.scheme import ConservativeScheme
 from repro.lmdbs import LocalDBMS, make_protocol
 from repro.mdbs import MDBSSimulator, SimulationConfig, verify

@@ -8,7 +8,6 @@ level rises: the more permissive schemes (2, 3) should respond faster
 than Scheme 0 under contention, despite doing far more scheduling steps.
 """
 
-import pytest
 
 from repro.core import make_scheme
 from repro.lmdbs import LocalDBMS, make_protocol

@@ -184,6 +184,29 @@ def load_json(path: str) -> Dict[str, Any]:
         return json.load(handle)
 
 
+def results_to_registry(results: Iterable[Dict[str, Any]], registry=None):
+    """Aggregate a grid's cells into one unified metrics registry
+    (``bench.*`` totals plus the ``gtm.*`` scheduling-cost counters),
+    ready for a Prometheus-style dump via ``--metrics-out``."""
+    from repro.observability.registry import DEFAULT_BUCKETS, MetricsRegistry
+
+    out = registry if registry is not None else MetricsRegistry()
+    wall = out.histogram("bench.wall_s", DEFAULT_BUCKETS)
+    for cell in results:
+        out.counter("bench.cells").inc()
+        out.counter("bench.committed").inc(cell["committed"])
+        out.counter("bench.events").inc(cell["events"])
+        out.counter("gtm.steps").inc(cell["scheme_steps"])
+        out.counter("gtm.graph_ops").inc(cell["graph_ops"])
+        out.counter("gtm.dfs_steps_avoided").inc(cell["dfs_steps_avoided"])
+        out.counter("gtm.wake_retries_skipped").inc(
+            cell["wake_retries_skipped"]
+        )
+        out.counter(f"{cell['scheme']}.cells").inc()
+        wall.observe(cell["wall_s"])
+    return out
+
+
 def _cell_key(cell: Dict[str, Any]):
     return (
         cell.get("experiment", "E4"),

@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from repro.core.scheme import ConservativeScheme
-from repro.workloads.traces import Trace, drive, staggered_trace
+from repro.workloads.traces import drive, staggered_trace
 
 
 @dataclass(frozen=True)

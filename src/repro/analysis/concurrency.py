@@ -11,7 +11,7 @@ incomparable) the benches report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.core.scheme import ConservativeScheme

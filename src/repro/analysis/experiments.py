@@ -10,15 +10,14 @@ users can embed the sweeps in their own studies).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
 
-from repro.analysis.complexity import fit_exponent, measure, sweep
+from repro.analysis.complexity import fit_exponent, sweep
 from repro.analysis.concurrency import compare, dominance, mean_waits
 from repro.analysis.reporting import render_table
 from repro.baselines import (
     OptimisticGTM,
-    OptimisticTicketMethod,
     SiteGraphScheme,
     TimestampGTM,
     TwoPhaseLockingGTM,

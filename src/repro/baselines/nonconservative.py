@@ -15,11 +15,10 @@ projection of ``ser(S)`` stays serializable, which the tests verify.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
-from repro.core.events import Ack, Fin, Init, QueueOp, Ser
+from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.scheme import ConservativeScheme
-from repro.exceptions import SchedulerError
 from repro.schedules.serialization_graph import DirectedGraph
 
 

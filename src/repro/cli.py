@@ -151,11 +151,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        Tracer,
+        explain_transaction,
+        replay_check,
+    )
+
     trace = random_trace(args.txns, args.sites, args.dav, seed=args.seed)
     print(f"trace ({len(trace)} records):")
     for record in trace.records:
         print(f"  {record.kind:>4} {record.transaction_id} {record.sites}")
-    result = drive(_make_scheduler(args.scheme), trace)
+    tracer = Tracer()
+    result = drive(_make_scheduler(args.scheme), trace, tracer=tracer)
     print(f"\nsubmissions by {args.scheme} (per-site execution order):")
     for operation in result.submission_order:
         print(f"  {operation!r}")
@@ -166,15 +173,37 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"aborted: {result.aborted}")
     print(f"ser(S) serializable: {result.ser_schedule.is_serializable()}")
     print(f"witness: {result.ser_schedule.witness_order()}")
+    if not result.aborted:
+        problems = replay_check(
+            tracer.spans,
+            [
+                (operation.transaction_id, operation.site)
+                for operation in result.ser_schedule
+            ],
+        )
+        if problems:
+            for line in problems:
+                print(f"!! trace/ser(S) mismatch: {line}")
+            return 1
+        print(f"trace replay matches ser(S) ({len(tracer.spans)} spans)")
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            handle.write(tracer.to_jsonl())
+        print(f"wrote {args.jsonl}")
+    if args.explain:
+        print()
+        print(explain_transaction(tracer.spans, args.explain))
     return 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import FaultConfigError, MessageFaultConfig
     from repro.faults.chaos import ChaosOptions, run_chaos
+    from repro.observability import MetricsRegistry, report_to_registry
 
     for name in args.schemes:
         _make_scheduler(name)  # validate early
+    registry = MetricsRegistry() if args.metrics_out else None
     try:
         MessageFaultConfig(
             loss_rate=args.loss_rate,
@@ -205,6 +234,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 prepare_crash_count=args.prepare_crashes,
             )
             result = run_chaos(options, seed)
+            if registry is not None:
+                report_to_registry(result.report, registry, scheme=name)
+                registry.counter("chaos.runs").inc()
+                if not result.ok:
+                    registry.counter("chaos.violations").inc()
             committed += result.report.committed_global
             failed += result.report.failed_global
             crashes_gtm += result.report.gtm_crashes
@@ -249,6 +283,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if registry is not None:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(registry.render_prometheus())
+        print(f"wrote {args.metrics_out}")
     if violations:
         for line in violations:
             print(f"!! {line}")
@@ -332,6 +370,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             },
         )
         print(f"wrote {args.out}")
+    if args.metrics_out:
+        registry = bench.results_to_registry(results)
+        with open(args.metrics_out, "w") as handle:
+            handle.write(registry.render_prometheus())
+        print(f"wrote {args.metrics_out}")
     if args.baseline:
         failures = bench.check_regression(
             results,
@@ -417,6 +460,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--sites", type=int, default=3)
     trace_parser.add_argument("--dav", type=int, default=2)
     trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--explain",
+        metavar="GTID",
+        help="print the causal WAIT/GRANT chain of one global "
+        "transaction (e.g. G3), naming each blocking constraint",
+    )
+    trace_parser.add_argument(
+        "--jsonl", metavar="PATH", help="export the span trace as JSONL"
+    )
     trace_parser.set_defaults(func=cmd_trace)
 
     chaos_parser = sub.add_parser(
@@ -450,6 +502,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="site crashes keyed to 2PC progress (after the n-th YES "
         "vote); needs --atomic-commit to matter",
+    )
+    chaos_parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the merged metrics registry of all runs as a "
+        "Prometheus-style text dump",
     )
     chaos_parser.set_defaults(func=cmd_chaos)
 
@@ -486,6 +544,12 @@ def build_parser() -> argparse.ArgumentParser:
         "disabled (the before/after trajectory)",
     )
     bench_parser.add_argument("--out", help="write BENCH_<n>.json here")
+    bench_parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the aggregated grid counters as a Prometheus-style "
+        "text dump",
+    )
     bench_parser.add_argument(
         "--baseline", help="committed BENCH_<n>.json to gate against"
     )

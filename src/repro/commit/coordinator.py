@@ -36,9 +36,17 @@ class TwoPhaseCoordinator:
     are volatile — acceptable only when GTM crashes are not injected.
     """
 
-    def __init__(self, journal=None, stats: Optional[CommitStats] = None) -> None:
+    def __init__(
+        self,
+        journal=None,
+        stats: Optional[CommitStats] = None,
+        tracer=None,
+    ) -> None:
         self.journal = journal
         self.stats = stats or CommitStats()
+        #: optional :class:`repro.observability.Tracer` for decision /
+        #: inquiry spans; never consulted for protocol behaviour
+        self.tracer = tracer
         self._commits: Set[str] = (
             set(journal.commit_decisions()) if journal is not None else set()
         )
@@ -63,12 +71,20 @@ class TwoPhaseCoordinator:
             self.journal.log_decision(incarnation)
         self._commits.add(incarnation)
         self.stats.commit_decisions += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "commit.decide", txn=incarnation, decision="COMMIT"
+            )
 
     def decide_abort(self, incarnation: str) -> None:
         """Abort decision: close the voting round and forget.  No log
         record, no acks awaited — absence means abort."""
         self._voting.discard(incarnation)
         self.stats.abort_decisions += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "commit.decide", txn=incarnation, decision="ABORT"
+            )
 
     # ------------------------------------------------------------------
     # queries
@@ -81,23 +97,33 @@ class TwoPhaseCoordinator:
         False = ABORT (presumed), None = still voting, ask again."""
         self.stats.inquiries += 1
         if incarnation in self._commits:
-            return True
-        if incarnation in self._voting:
-            return None
-        return False
+            answer: Optional[bool] = True
+        elif incarnation in self._voting:
+            answer = None
+        else:
+            answer = False
+        if self.tracer is not None:
+            self.tracer.event(
+                "commit.inquiry",
+                txn=incarnation,
+                answer={True: "COMMIT", False: "ABORT", None: "undecided"}[
+                    answer
+                ],
+            )
+        return answer
 
     # ------------------------------------------------------------------
     # recovery
     # ------------------------------------------------------------------
     @classmethod
     def recover(
-        cls, journal, stats: Optional[CommitStats] = None
+        cls, journal, stats: Optional[CommitStats] = None, tracer=None
     ) -> "TwoPhaseCoordinator":
         """Rebuild after a GTM2 crash: the force-logged COMMIT decisions
         are replayed from the journal; everything else is presumed
         aborted until the caller re-opens its surviving voting rounds
         via :meth:`begin_voting`."""
-        coordinator = cls(journal, stats)
+        coordinator = cls(journal, stats, tracer=tracer)
         coordinator.stats.coordinator_recoveries += 1
         return coordinator
 

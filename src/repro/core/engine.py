@@ -30,7 +30,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro import fastpath
-from repro.core.events import Ack, Fin, Init, QueueOp, Ser
+from repro.core.events import Ack, QueueOp, Ser
 from repro.core.scheme import ConservativeScheme, SchemeContext
 from repro.exceptions import SchedulerError
 
@@ -49,6 +49,13 @@ def _op_key(operation: QueueOp) -> Tuple[str, Optional[str]]:
     return (operation.kind, site)
 
 
+def _op_repr(operation: QueueOp) -> str:
+    """Compact ``kind(txn@site)`` label for trace attribution."""
+    site = getattr(operation, "site", None)
+    where = "" if site is None else f"@{site}"
+    return f"{operation.kind}({operation.transaction_id}{where})"
+
+
 class Engine(SchemeContext):
     """Figure 3's ``Basic_Scheme`` procedure as an incremental event loop.
 
@@ -63,11 +70,18 @@ class Engine(SchemeContext):
         ack_handler: Optional[AckHandler] = None,
         journal=None,
         force_full_rescan: bool = False,
+        tracer=None,
     ) -> None:
         """``force_full_rescan`` ignores the scheme's wake hints and
         re-examines the whole WAIT set after every action — the literal
         Figure 3 semantics, used by differential tests to certify that
-        the hinted fast path is behaviourally identical."""
+        the hinted fast path is behaviourally identical.
+
+        ``tracer`` (a :class:`repro.observability.Tracer`, or ``None``)
+        records WAIT/GRANT/act decision points as spans; every hook is
+        behind a single ``is not None`` check and never influences
+        scheduling, so a disabled tracer costs nothing and an enabled
+        one changes no decision."""
         self.scheme = scheme
         scheme.bind(self)
         self._submit_handler = submit_handler
@@ -94,12 +108,24 @@ class Engine(SchemeContext):
         #: ser-operations submitted, in submission order (per site), used
         #: to build ser(S) for verification
         self.submission_log: List[Ser] = []
+        #: optional span tracer (observability layer); ``None`` = off
+        self.tracer = tracer
+        #: open WAIT span per waiting operation identity
+        self._wait_spans: Dict[int, int] = {}
+        #: last action description, for GRANT attribution in traces
+        self._last_act_repr: Optional[str] = None
 
     # ------------------------------------------------------------------
     # SchemeContext
     # ------------------------------------------------------------------
     def submit_ser(self, operation: Ser) -> None:
         self.submission_log.append(operation)
+        if self.tracer is not None:
+            self.tracer.event(
+                "site.submit",
+                txn=operation.transaction_id,
+                site=operation.site,
+            )
         if self._submit_handler is not None:
             self._submit_handler(operation)
 
@@ -140,6 +166,9 @@ class Engine(SchemeContext):
         dead incarnations."""
         if self.journal is not None:
             self.journal.log_purged(transaction_id)
+        if self.tracer is not None:
+            self.tracer.event("gtm.purge", txn=transaction_id)
+            self._last_act_repr = f"purge({transaction_id})"
         self._queue = deque(
             op for op in self._queue if op.transaction_id != transaction_id
         )
@@ -147,6 +176,10 @@ class Engine(SchemeContext):
             if operation.transaction_id == transaction_id:
                 self._remove_waiting(operation)
                 self._wait_since.pop(id(operation), None)
+                if self.tracer is not None:
+                    span = self._wait_spans.pop(id(operation), None)
+                    if span is not None:
+                        self.tracer.end(span, purged=True)
         hinter = (
             None
             if self._force_full_rescan or not self._use_purge_hints
@@ -199,6 +232,8 @@ class Engine(SchemeContext):
             else:
                 self.scheme.metrics.note_waited(operation.kind)
                 self._add_waiting(operation)
+                if self.tracer is not None:
+                    self._trace_wait(operation)
                 # a cond may mutate scheme state (e.g. an abort-based
                 # scheme killing a deadlock victim); honour its request
                 # to re-examine WAIT even though nothing was processed
@@ -215,7 +250,42 @@ class Engine(SchemeContext):
     def _act(self, operation: QueueOp) -> None:
         if self.journal is not None:
             self.journal.log_processed(operation)
+        if self.tracer is not None:
+            self.tracer.event(
+                f"gtm.{operation.kind}",
+                txn=operation.transaction_id,
+                site=getattr(operation, "site", None),
+            )
+            self._last_act_repr = _op_repr(operation)
         self.scheme.act(operation)
+
+    # ------------------------------------------------------------------
+    # tracing hooks (all no-ops unless a tracer is attached)
+    # ------------------------------------------------------------------
+    def _trace_wait(self, operation: QueueOp) -> None:
+        """Open a WAIT span, with the scheme's cause attribution for why
+        ``cond`` failed (read-only: charges no metric steps)."""
+        tracer = self.tracer
+        assert tracer is not None
+        explain = getattr(self.scheme, "explain_block", None)
+        cause = explain(operation) if explain is not None else None
+        self._wait_spans[id(operation)] = tracer.begin(
+            "gtm.wait",
+            txn=operation.transaction_id,
+            site=getattr(operation, "site", None),
+            cause=cause,
+            kind=operation.kind,
+        )
+
+    def _trace_grant(self, operation: QueueOp, waited: int) -> None:
+        """Close the WAIT span: cond now holds and act is about to run."""
+        tracer = self.tracer
+        assert tracer is not None
+        span = self._wait_spans.pop(id(operation), None)
+        if span is not None:
+            tracer.end(
+                span, waited=max(waited, 0), after_act=self._last_act_repr
+            )
 
     def _perform(self, operation: QueueOp) -> int:
         """Run ``act`` and re-examine WAIT per the scheme's wake hints;
@@ -238,6 +308,8 @@ class Engine(SchemeContext):
                         id(candidate), self._ticks
                     )
                     self.scheme.metrics.wait_ticks += max(waited, 0)
+                    if self.tracer is not None:
+                        self._trace_grant(candidate, waited)
                     self._act(candidate)
                     processed += 1
                     follow = self._hints_for(candidate)
@@ -286,6 +358,8 @@ class Engine(SchemeContext):
                         id(operation), self._ticks
                     )
                     self.scheme.metrics.wait_ticks += max(waited, 0)
+                    if self.tracer is not None:
+                        self._trace_grant(operation, waited)
                     self._act(operation)
                     processed += 1
                     progress = True
@@ -322,6 +396,8 @@ class Engine(SchemeContext):
                         id(operation), self._ticks
                     )
                     self.scheme.metrics.wait_ticks += max(waited, 0)
+                    if self.tracer is not None:
+                        self._trace_grant(operation, waited)
                     self._act(operation)
                     processed += 1
                     progress = True

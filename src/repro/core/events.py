@@ -17,8 +17,8 @@ records), but they reference it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.engine import Engine
 from repro.core.events import Ack, Fin, Init, Ser
@@ -273,6 +273,7 @@ class GTMSystem:
         scheme: ConservativeScheme,
         max_restarts: int = 10,
         journal=None,
+        tracer=None,
     ) -> None:
         self.sites = dict(sites)
         self.scheme = scheme
@@ -283,6 +284,7 @@ class GTMSystem:
             submit_handler=self._execute_ser,
             ack_handler=self._on_gtm1_ack,
             journal=journal,
+            tracer=tracer,
         )
         self.max_restarts = max_restarts
         self._runtimes: Dict[str, _TxnRuntime] = {}
@@ -572,12 +574,16 @@ class GTMSystem:
             scheme_factory() if scheme_factory is not None
             else type(self.scheme)()
         )
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.event("gtm.crash_recovery")
         self.engine = recover_engine(
             fresh,
             journal,
             submit_handler=self._execute_ser,
             ack_handler=self._on_gtm1_ack,
             new_journal=journal,
+            tracer=tracer,
         )
         self.scheme = fresh
 

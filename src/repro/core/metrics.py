@@ -15,7 +15,7 @@ processed-operation ticks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 
 @dataclass
@@ -41,6 +41,9 @@ class SchemeMetrics:
     dfs_steps_avoided: int = 0
     #: waiting operations the targeted post-purge drain did not re-examine
     wake_retries_skipped: int = 0
+    #: dependency edges added by Eliminate_Cycles (scheme 2's Δ; the
+    #: paper's non-minimality measure of Theorem 7 — zero elsewhere)
+    delta_edges: int = 0
 
     def step(self, count: int = 1) -> None:
         self.steps += count
@@ -79,4 +82,5 @@ class SchemeMetrics:
             "graph_ops": float(self.graph_ops),
             "dfs_steps_avoided": float(self.dfs_steps_avoided),
             "wake_retries_skipped": float(self.wake_retries_skipped),
+            "delta_edges": float(self.delta_edges),
         }

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.engine import AckHandler, Engine, SubmitHandler
 from repro.core.events import Ack, QueueOp, Ser
@@ -223,6 +223,7 @@ def recover_engine(
     submit_handler: Optional[SubmitHandler] = None,
     ack_handler: Optional[AckHandler] = None,
     new_journal: Optional[Journal] = None,
+    tracer=None,
 ) -> Engine:
     """Recover a live GTM2 from *journal*: replay the processed prefix
     into *scheme*, attach the (fresh) scheme to a new engine, and
@@ -240,6 +241,7 @@ def recover_engine(
         submit_handler=submit_handler,
         ack_handler=ack_handler,
         journal=new_journal if new_journal is not None else journal,
+        tracer=tracer,
     )
     # re-binding happened in Engine.__init__; do not double-log the
     # outstanding operations — they are already in the journal

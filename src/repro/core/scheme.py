@@ -17,7 +17,7 @@ layering of the paper's Figure 2.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.core.events import Ack, Fin, Init, QueueOp, Ser
 from repro.core.metrics import SchemeMetrics
@@ -116,6 +116,18 @@ class ConservativeScheme:
 
     def act_fin(self, operation: Fin) -> None:
         raise NotImplementedError
+
+    # -- observability -----------------------------------------------------
+    def explain_block(self, operation: QueueOp):
+        """Why would ``cond(operation)`` fail right now?
+
+        Read-only cause attribution for the observability layer: returns
+        a mapping naming the blocking constraint (TSGD edge, ser_bef
+        member, queue front, ...) or ``None`` when the scheme cannot
+        say.  Implementations must not mutate DS and must not charge
+        metric steps — tracing never changes the paper's step counts.
+        """
+        return None
 
     # -- helpers ---------------------------------------------------------------
     def submit(self, operation: Ser) -> None:

@@ -84,6 +84,20 @@ class Scheme0(ConservativeScheme):
                 return [("ser", queue[0], operation.site)]
         return []
 
+    # -- observability ---------------------------------------------------------
+    def explain_block(self, operation):
+        """A ser-op is blocked iff it is not the front of its site FIFO."""
+        if isinstance(operation, Ser):
+            queue = self._queues.get(operation.site)
+            if queue and queue[0] != operation.transaction_id:
+                return {
+                    "type": "fifo-front",
+                    "site": operation.site,
+                    "blocking": queue[0],
+                    "after": operation.transaction_id,
+                }
+        return None
+
     # -- fault handling (GTM aborts; see DESIGN.md) ----------------------------
     def remove_transaction(self, transaction_id: str) -> None:
         """Purge an aborted transaction from every site queue."""

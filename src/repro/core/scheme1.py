@@ -145,6 +145,43 @@ class Scheme1(ConservativeScheme):
             return [("fin", None, None)]
         return []
 
+    # -- observability ---------------------------------------------------------
+    def explain_block(self, operation):
+        """Mirror :meth:`cond_ser`/:meth:`cond_fin` read-only: name the
+        outstanding submission, marked-queue front, or delete-queue front
+        that holds the operation back."""
+        if isinstance(operation, Ser):
+            transaction_id, site = operation.transaction_id, operation.site
+            outstanding = self._outstanding.get(site)
+            if outstanding is not None and outstanding != transaction_id:
+                return {
+                    "type": "one-outstanding",
+                    "site": site,
+                    "blocking": outstanding,
+                    "after": transaction_id,
+                }
+            if (transaction_id, site) in self._marked:
+                queue = self._insert_queues.get(site, [])
+                if queue and queue[0] != transaction_id:
+                    return {
+                        "type": "marked-insert-queue",
+                        "site": site,
+                        "blocking": queue[0],
+                        "after": transaction_id,
+                    }
+        if isinstance(operation, Fin):
+            transaction_id = operation.transaction_id
+            for site in self.tsg.sites_of(transaction_id):
+                queue = self._delete_queues.get(site, [])
+                if not queue or queue[0] != transaction_id:
+                    return {
+                        "type": "delete-queue",
+                        "site": site,
+                        "blocking": queue[0] if queue else None,
+                        "after": transaction_id,
+                    }
+        return None
+
     # -- fault handling (GTM aborts; see DESIGN.md) ----------------------------
     def remove_transaction(self, transaction_id: str) -> None:
         """Purge an aborted transaction from the TSG, the queues, the

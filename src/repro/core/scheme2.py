@@ -24,7 +24,7 @@ benchmark E2.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Set, Tuple
 
 from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.scheme import ConservativeScheme
@@ -71,6 +71,7 @@ class Scheme2(ConservativeScheme):
                     self.tsgd.add_dependency(other, site, transaction_id)
         if self._eliminate:
             delta = self.tsgd.eliminate_cycles(transaction_id)
+            self.metrics.delta_edges += len(delta)
             self.tsgd.add_dependencies(sorted(delta))
         if self._verify and self.tsgd.has_dangerous_cycle_through(
             transaction_id
@@ -149,6 +150,35 @@ class Scheme2(ConservativeScheme):
             hints.append(("fin", None, None))
             return hints
         return []
+
+    # -- observability ---------------------------------------------------------
+    def explain_block(self, operation):
+        """Name the first unsatisfied TSGD dependency that blocks the
+        operation (insertion order, matching :meth:`cond_ser`'s scan)."""
+        if isinstance(operation, Ser):
+            transaction_id, site = operation.transaction_id, operation.site
+            for before, dep_site, _after in self.tsgd.incoming_dependencies(
+                transaction_id
+            ):
+                if dep_site == site and (before, site) not in self._acked:
+                    return {
+                        "type": "tsgd-dependency",
+                        "site": site,
+                        "blocking": before,
+                        "after": transaction_id,
+                    }
+        if isinstance(operation, Fin):
+            transaction_id = operation.transaction_id
+            deps = self.tsgd.incoming_dependencies(transaction_id)
+            if deps:
+                before, dep_site, _after = deps[0]
+                return {
+                    "type": "tsgd-fin-dependency",
+                    "site": dep_site,
+                    "blocking": before,
+                    "after": transaction_id,
+                }
+        return None
 
     # -- fault handling (GTM aborts; see DESIGN.md) ----------------------------
     def remove_transaction(self, transaction_id: str) -> None:

@@ -250,6 +250,45 @@ class Scheme3(ConservativeScheme):
             return [("fin", None, None)]
         return []
 
+    # -- observability ---------------------------------------------------------
+    def explain_block(self, operation):
+        """Mirror :meth:`cond_ser`/:meth:`cond_fin` read-only: name the
+        unacknowledged ``last_k`` or the ser_bef ∩ set_k member (smallest
+        id, deterministically) that blocks the operation."""
+        if isinstance(operation, Ser):
+            transaction_id, site = operation.transaction_id, operation.site
+            if transaction_id not in self._ser_bef:
+                return None
+            last = self._last(site)
+            if last is not None and (last, site) not in self._acked:
+                return {
+                    "type": "one-outstanding",
+                    "site": site,
+                    "blocking": last,
+                    "after": transaction_id,
+                }
+            blockers = self._ser_bef[transaction_id] & self._set.get(
+                site, set()
+            )
+            blockers.discard(transaction_id)
+            if blockers:
+                return {
+                    "type": "ser-bef",
+                    "site": site,
+                    "blocking": min(blockers),
+                    "after": transaction_id,
+                }
+        if isinstance(operation, Fin):
+            remaining = self._ser_bef.get(operation.transaction_id)
+            if remaining:
+                return {
+                    "type": "ser-bef-nonempty",
+                    "after": operation.transaction_id,
+                    "remaining": sorted(remaining)[:5],
+                    "count": len(remaining),
+                }
+        return None
+
     # -- fault handling (GTM aborts; see DESIGN.md) ----------------------------
     def remove_transaction(self, transaction_id: str) -> None:
         """Purge an aborted transaction.  Constraints it transitively

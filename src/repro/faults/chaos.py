@@ -20,8 +20,8 @@ re-exported from :mod:`repro.faults` (which :mod:`repro.mdbs` imports).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 from repro.core import make_scheme
 from repro.faults.injector import FaultInjector

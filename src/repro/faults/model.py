@@ -23,7 +23,7 @@ The resilience policies configured here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.exceptions import ReproError

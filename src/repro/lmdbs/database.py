@@ -16,10 +16,10 @@ transaction may have at most one operation in flight at the site.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.exceptions import ProtocolViolation, TransactionAborted
+from repro.exceptions import ProtocolViolation
 from repro.lmdbs.history import HistoryLog
 from repro.lmdbs.protocols.base import Decision, LocalScheduler, Verdict
 from repro.lmdbs.storage import VersionedStore

@@ -10,7 +10,7 @@ scheduler cannot certify itself correct.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.schedules.model import Operation, OpType, Schedule
 

@@ -19,8 +19,8 @@ black boxes that merely execute and acknowledge operations.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 
 class Verdict(enum.Enum):

@@ -15,7 +15,7 @@ archetype the paper's Scheme 0 is modeled on.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.exceptions import ProtocolViolation
 from repro.lmdbs.protocols.base import Decision, LocalScheduler

@@ -17,7 +17,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.exceptions import ProtocolViolation
 from repro.lmdbs.deadlock import DeadlockDetector, VictimPolicy, youngest_victim
 from repro.lmdbs.lock_manager import LockManager, LockMode
-from repro.lmdbs.protocols.base import Decision, LocalScheduler, Verdict
+from repro.lmdbs.protocols.base import Decision, LocalScheduler
 
 
 class StrictTwoPhaseLocking(LocalScheduler):

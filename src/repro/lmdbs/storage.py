@@ -10,8 +10,8 @@ identifiers used by the optimistic protocol's validation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
 
 from repro.exceptions import ProtocolViolation
 

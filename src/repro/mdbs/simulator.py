@@ -218,6 +218,7 @@ class MDBSSimulator:
         injector: Optional[FaultInjector] = None,
         scheme_factory: Optional[Callable[[], ConservativeScheme]] = None,
         atomic_commit: bool = False,
+        tracer=None,
     ) -> None:
         self.sites = dict(sites)
         self.scheme = scheme
@@ -225,6 +226,12 @@ class MDBSSimulator:
         self.config.validate()
         self.loop = EventLoop()
         self.rng = random.Random(seed)
+        #: optional :class:`repro.observability.Tracer`; spans are
+        #: stamped with the event loop's simulated time and recording
+        #: never influences scheduling or fault decisions
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.loop.now)
         #: fault injection: when present, submissions go through resilient
         #: servers, GTM2 keeps a journal, and the plan's crash schedule is
         #: executed; when None the simulator behaves exactly as before
@@ -243,6 +250,7 @@ class MDBSSimulator:
             submit_handler=self._execute_ser,
             ack_handler=self._on_gtm1_ack,
             journal=self._journal,
+            tracer=tracer,
         )
         self._runtimes: Dict[str, _GlobalRuntime] = {}
         self._stats: Dict[str, TransactionStats] = {}
@@ -273,7 +281,9 @@ class MDBSSimulator:
         # --- atomic-commitment layer (repro.commit) ---
         self.commit_stats = CommitStats() if atomic_commit else None
         self.coordinator = (
-            TwoPhaseCoordinator(self._journal, self.commit_stats)
+            TwoPhaseCoordinator(
+                self._journal, self.commit_stats, tracer=tracer
+            )
             if atomic_commit
             else None
         )
@@ -295,6 +305,7 @@ class MDBSSimulator:
                     message_delay=self.config.latencies.message_delay,
                     fate=fate,
                     on_yes_vote=self._on_yes_vote,
+                    tracer=tracer,
                 )
             for participant in self.participants.values():
                 participant.peers = self.participants
@@ -455,6 +466,8 @@ class MDBSSimulator:
         if self.injector is None or self._journal is None:
             return
         self.injector.stats.gtm_crashes += 1
+        if self.tracer is not None:
+            self.tracer.event("gtm.crash_recovery")
         started = time.perf_counter()
         fresh = self._scheme_factory()
         self.engine = recover_engine(
@@ -463,6 +476,7 @@ class MDBSSimulator:
             submit_handler=self._execute_ser,
             ack_handler=self._on_gtm1_ack,
             new_journal=self._journal,
+            tracer=self.tracer,
         )
         self.scheme = fresh
         if self.coordinator is not None:
@@ -472,7 +486,7 @@ class MDBSSimulator:
             # GTM1 still tracks (its bookkeeping survives) so in-doubt
             # inquiries made mid-vote are not prematurely presumed abort
             self.coordinator = TwoPhaseCoordinator.recover(
-                self._journal, self.commit_stats
+                self._journal, self.commit_stats, tracer=self.tracer
             )
             for incarnation in self._runtimes:
                 self.coordinator.begin_voting(incarnation)
@@ -489,6 +503,8 @@ class MDBSSimulator:
             return
         db = self.sites[crash.site]
         self.injector.stats.site_crashes += 1
+        if self.tracer is not None:
+            self.tracer.event("site.crash", site=crash.site)
         self.injector.mark_down(crash.site, self.loop.now + crash.downtime)
         db.crash(f"site {crash.site!r} crashed")
         if self.atomic_commit:
@@ -647,7 +663,6 @@ class MDBSSimulator:
             self._send_prepare(runtime, planned)
             return
         incarnation = runtime.incarnation
-        db = self.sites[planned.operation.site]
 
         def completion(operation: Operation, value: Any, aborted: bool) -> None:
             self._on_completion(incarnation, operation, value, aborted)

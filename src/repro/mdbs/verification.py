@@ -20,14 +20,13 @@ scheme cannot certify itself.  Provided checks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro import fastpath
 from repro.exceptions import NonSerializableError
 from repro.schedules.global_schedule import GlobalSchedule, SerSchedule
 from repro.schedules.model import OpType
 from repro.schedules.serialization_graph import (
-    DirectedGraph,
     serialization_graph,
     union_graph,
 )

@@ -1,0 +1,56 @@
+"""Observability layer: structured tracing + unified metrics registry.
+
+This package is the repo's single answer to "why did that global
+transaction wait, abort, or block in-doubt?" and "what did the run
+count?".  It has two halves:
+
+* :mod:`repro.observability.tracer` — a span-style structured tracer.
+  Every GTM decision point (submit, cond/act evaluation, WAIT, GRANT,
+  site ser-op, prepare/vote/commit, recovery inquiry) becomes a
+  parent-linked span with a *cause* record attributing the decision to
+  the blocking TSGD edge, ser_bef constraint, or queue conflict.  The
+  tracer is seed-deterministic (ids and timestamps come from the
+  scheduler's own logical clocks, never the wall clock) and zero-cost
+  when disabled: call sites hold ``tracer=None`` and guard with a
+  single ``is not None`` check.
+
+* :mod:`repro.observability.registry` — a unified metrics registry
+  (counters, gauges, histograms with fixed bucket edges) behind one
+  namespaced API (``gtm.waits``, ``scheme2.delta_edges``,
+  ``commit.indoubt_ms``, ``faults.retries``, ...), with a
+  Prometheus-style text dump, JSON snapshot/restore, and cross-run
+  merge.  :mod:`repro.observability.export` absorbs the pre-existing
+  counter sprawl (``SchemeMetrics``, ``SimulationReport``,
+  ``FaultStats``, ``CommitStats``) into that namespace.
+
+:mod:`repro.observability.explain` renders one transaction's causal
+WAIT/GRANT chain from a recorded trace (the ``repro trace --explain``
+backend).
+"""
+
+from repro.observability.explain import explain_transaction, format_cause
+from repro.observability.export import report_to_registry, scheme_metrics_to_registry
+from repro.observability.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from repro.observability.tracer import Span, Tracer, replay_check, spans_from_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "explain_transaction",
+    "format_cause",
+    "parse_prometheus",
+    "replay_check",
+    "report_to_registry",
+    "scheme_metrics_to_registry",
+    "spans_from_jsonl",
+]

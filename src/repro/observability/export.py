@@ -1,0 +1,146 @@
+"""Absorb the pre-existing counter sprawl into the unified registry.
+
+``SchemeMetrics``, ``SimulationReport``, ``FaultStats`` and
+``CommitStats`` each grew their own ad-hoc counters across PRs 1–3.
+This module maps them all onto one namespaced metric tree:
+
+=====================  =================================================
+namespace              source
+=====================  =================================================
+``gtm.*``              SchemeMetrics (steps, waits, wait ticks, ...)
+``<scheme>.*``         scheme-specific counters (``scheme2.delta_edges``)
+``sim.*``              SimulationReport outcome counters + histograms
+``faults.*``           FaultStats (one metric per field)
+``commit.*``           CommitStats + in-doubt / commit-latency histograms
+=====================  =================================================
+
+The argument types are deliberately loose (``Any``): this module is the
+boundary between the typed observability package and the untyped
+scheduler dataclasses it summarizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.observability.registry import MetricsRegistry
+
+#: Bucket edges for simulated-time histograms (response / in-doubt /
+#: commit latencies).  Simulated clocks run 0..~hundreds, so the edges
+#: sit an order of magnitude below the registry default.
+TIME_BUCKETS = (
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+)
+
+
+def scheme_metrics_to_registry(
+    metrics: Any,
+    registry: Optional[MetricsRegistry] = None,
+    scheme: str = "",
+) -> MetricsRegistry:
+    """Publish one ``SchemeMetrics`` under ``gtm.*`` (+ ``<scheme>.*``)."""
+    out = registry if registry is not None else MetricsRegistry()
+    out.counter("gtm.steps").inc(metrics.steps)
+    out.counter("gtm.processed").inc(metrics.total_processed)
+    out.counter("gtm.waits").inc(metrics.total_waited)
+    out.counter("gtm.wait_ticks").inc(metrics.wait_ticks)
+    out.counter("gtm.transactions").inc(metrics.transactions_finished)
+    out.counter("gtm.graph_ops").inc(metrics.graph_ops)
+    out.counter("gtm.dfs_steps_avoided").inc(metrics.dfs_steps_avoided)
+    out.counter("gtm.wake_retries_skipped").inc(metrics.wake_retries_skipped)
+    for kind in sorted(metrics.processed):
+        out.counter(f"gtm.processed.{kind}").inc(metrics.processed[kind])
+    for kind in sorted(metrics.waited):
+        out.counter(f"gtm.waits.{kind}").inc(metrics.waited[kind])
+    if scheme and getattr(metrics, "delta_edges", 0):
+        out.counter(f"{scheme}.delta_edges").inc(metrics.delta_edges)
+    return out
+
+
+def fault_stats_to_registry(
+    stats: Any, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Publish a ``FaultStats`` as one ``faults.<field>`` counter each."""
+    out = registry if registry is not None else MetricsRegistry()
+    for name, value in stats.as_rows():
+        out.counter(f"faults.{name}").inc(value)
+    return out
+
+
+def commit_stats_to_registry(
+    stats: Any, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Publish a ``CommitStats`` as one ``commit.<field>`` counter each."""
+    out = registry if registry is not None else MetricsRegistry()
+    for name, value in stats.as_rows():
+        out.counter(f"commit.{name}").inc(value)
+    return out
+
+
+def report_to_registry(
+    report: Any,
+    registry: Optional[MetricsRegistry] = None,
+    scheme: str = "",
+) -> MetricsRegistry:
+    """Publish a full ``SimulationReport`` into a registry.
+
+    Covers the simulation outcome (``sim.*``), the fault layer
+    (``faults.*``) and the atomic-commitment layer (``commit.*``,
+    including the ``commit.indoubt_ms`` and ``commit.latency_ms``
+    histograms) when those layers ran.
+    """
+    out = registry if registry is not None else MetricsRegistry()
+    out.counter("sim.runs").inc()
+    out.counter("sim.committed_global").inc(report.committed_global)
+    out.counter("sim.failed_global").inc(report.failed_global)
+    out.counter("sim.global_aborts").inc(report.global_aborts)
+    out.counter("sim.committed_local").inc(report.committed_local)
+    out.counter("sim.local_aborts").inc(report.local_aborts)
+    out.counter("sim.watchdog_aborts").inc(report.watchdog_aborts)
+    out.counter("sim.events_executed").inc(report.events_executed)
+    out.counter("sim.gtm_crashes").inc(report.gtm_crashes)
+    out.counter("sim.site_crashes").inc(report.site_crashes)
+    out.gauge("sim.duration").set(report.duration)
+    out.gauge("sim.quarantined_sites").set(len(report.quarantined_sites))
+    out.counter("gtm.steps").inc(report.scheme_steps)
+    out.counter("gtm.waits").inc(report.scheme_waits)
+    out.counter("gtm.graph_ops").inc(report.graph_ops)
+    out.counter("gtm.dfs_steps_avoided").inc(report.dfs_steps_avoided)
+    out.counter("gtm.wake_retries_skipped").inc(report.wake_retries_skipped)
+    response = out.histogram("sim.response_time", TIME_BUCKETS)
+    for value in report.response_times:
+        response.observe(value)
+    if report.fault_stats is not None:
+        fault_stats_to_registry(report.fault_stats, out)
+    if report.commit_stats is not None:
+        commit_stats_to_registry(report.commit_stats, out)
+    if report.atomic_commit:
+        indoubt = out.histogram("commit.indoubt_ms", TIME_BUCKETS)
+        for value in report.in_doubt_times:
+            indoubt.observe(value)
+        latency = out.histogram("commit.latency_ms", TIME_BUCKETS)
+        for value in report.commit_latencies:
+            latency.observe(value)
+    if scheme:
+        out.counter(f"{scheme}.runs").inc()
+    return out
+
+
+def drive_result_to_registry(
+    result: Any, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Publish a trace-driver ``DriveResult`` (scheme metrics + outcome)."""
+    out = registry if registry is not None else MetricsRegistry()
+    scheme_metrics_to_registry(result.metrics, out, scheme=result.scheme_name)
+    out.counter("sim.runs").inc()
+    out.counter("sim.aborts").inc(len(result.aborted))
+    return out

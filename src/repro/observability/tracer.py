@@ -1,0 +1,237 @@
+"""Span-style structured tracer for GTM decision points.
+
+A :class:`Tracer` records *spans*: parent-linked, cause-attributed
+records of what the scheduler decided and why.  Each global transaction
+gets a lazily-created root span; every decision about it (submission,
+WAIT, GRANT, the ser-op reaching its site, prepare/vote/commit,
+recovery inquiry) is a child of that root.  A WAIT span carries a
+``cause`` mapping naming the blocking TSGD edge, ser_bef constraint, or
+queue conflict, produced by the scheme's ``explain_block`` hook at the
+moment the condition failed.
+
+Determinism: span ids are a simple counter, timestamps come from an
+injected logical clock (engine ticks, or the simulator's event-loop
+time) and default to the tracer's own event counter.  Nothing reads the
+wall clock or the process RNG, so the same seed yields a byte-identical
+JSONL export (asserted by tests/test_observability.py).
+
+Zero cost when disabled: components hold ``tracer=None`` and guard
+every hook with ``if tracer is not None`` — no object is allocated, no
+global is consulted, and scheduling decisions never depend on whether a
+tracer is attached.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Span:
+    """One recorded decision point.
+
+    ``end`` is ``None`` while the span is open (a transaction still
+    waiting); ``cause`` is ``None`` unless the span records a blocking
+    decision.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    txn: Optional[str]
+    site: Optional[str]
+    start: float
+    end: Optional[float] = None
+    cause: Optional[Dict[str, Any]] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "txn": self.txn,
+            "site": self.site,
+            "start": self.start,
+            "end": self.end,
+            "cause": self.cause,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        return cls(
+            span_id=payload["span_id"],
+            parent_id=payload["parent_id"],
+            name=payload["name"],
+            txn=payload["txn"],
+            site=payload["site"],
+            start=payload["start"],
+            end=payload["end"],
+            cause=payload["cause"],
+            attrs=payload["attrs"] or {},
+        )
+
+
+class Tracer:
+    """Collects spans; deterministic ids and timestamps.
+
+    *clock* supplies timestamps (e.g. ``lambda: loop.now`` in the
+    simulator, or the engine's tick counter); without one the tracer
+    stamps spans with its own monotone event counter.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock
+        self._next_id = 1
+        self._event_seq = 0
+        self.spans: List[Span] = []
+        self._roots: Dict[str, int] = {}
+        self._by_id: Dict[int, Span] = {}
+
+    def now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return float(self._event_seq)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach a logical clock if none was injected at construction —
+        components that own a simulated clock bind it when the tracer is
+        handed to them (e.g. the MDBS simulator's event-loop time)."""
+        if self._clock is None:
+            self._clock = clock
+
+    def _new_span(
+        self,
+        name: str,
+        txn: Optional[str],
+        site: Optional[str],
+        parent_id: Optional[int],
+        cause: Optional[Dict[str, Any]],
+        attrs: Dict[str, Any],
+    ) -> Span:
+        self._event_seq += 1
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent_id,
+            name=name,
+            txn=txn,
+            site=site,
+            start=self.now(),
+            cause=cause,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def root_for(self, txn: str) -> int:
+        """The (lazily created) root span id for a global transaction."""
+        span_id = self._roots.get(txn)
+        if span_id is None:
+            span = self._new_span("txn", txn, None, None, None, {})
+            span_id = span.span_id
+            self._roots[txn] = span_id
+        return span_id
+
+    def begin(
+        self,
+        name: str,
+        txn: Optional[str] = None,
+        site: Optional[str] = None,
+        cause: Optional[Dict[str, Any]] = None,
+        **attrs: Any,
+    ) -> int:
+        """Open a span (e.g. a WAIT that a later GRANT will close)."""
+        parent = self.root_for(txn) if txn is not None else None
+        return self._new_span(name, txn, site, parent, cause, attrs).span_id
+
+    def end(self, span_id: int, **attrs: Any) -> None:
+        span = self._by_id[span_id]
+        self._event_seq += 1
+        span.end = self.now()
+        if attrs:
+            span.attrs.update(attrs)
+
+    def event(
+        self,
+        name: str,
+        txn: Optional[str] = None,
+        site: Optional[str] = None,
+        cause: Optional[Dict[str, Any]] = None,
+        **attrs: Any,
+    ) -> int:
+        """Record an instantaneous (already-closed) span."""
+        span_id = self.begin(name, txn, site, cause, **attrs)
+        span = self._by_id[span_id]
+        span.end = span.start
+        return span_id
+
+    # -- queries ----------------------------------------------------------
+
+    def spans_of(self, txn: str) -> List[Span]:
+        """All spans of one transaction, in record order (root first)."""
+        return [span for span in self.spans if span.txn == txn]
+
+    def transactions(self) -> List[str]:
+        return list(self._roots)
+
+    # -- export -----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One span per line, keys sorted: byte-deterministic per seed."""
+        return "".join(
+            json.dumps(span.to_dict(), sort_keys=True) + "\n"
+            for span in self.spans
+        )
+
+
+def spans_from_jsonl(text: str) -> List[Span]:
+    """Reload an exported trace (the replay side of ``to_jsonl``)."""
+    spans: List[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def ser_submissions(spans: Sequence[Span]) -> List[Tuple[str, str]]:
+    """The (txn, site) sequence of ser-ops the GTM released to sites."""
+    return [
+        (span.txn, span.site)
+        for span in spans
+        if span.name == "site.submit"
+        and span.txn is not None
+        and span.site is not None
+    ]
+
+
+def replay_check(
+    spans: Sequence[Span], ser_schedule: Sequence[Tuple[str, str]]
+) -> List[str]:
+    """Replay a trace against the verification layer's ser(S) schedule.
+
+    The GTM forwards ser-ops in the order it granted them, so the
+    trace's ``site.submit`` sequence must equal the observed global
+    schedule ser(S).  Returns a list of mismatch descriptions (empty =
+    trace and schedule agree).
+    """
+    traced = ser_submissions(spans)
+    observed = [(txn, site) for txn, site in ser_schedule]
+    problems: List[str] = []
+    if len(traced) != len(observed):
+        problems.append(
+            f"trace has {len(traced)} ser submissions, "
+            f"schedule has {len(observed)}"
+        )
+    for index, (got, want) in enumerate(zip(traced, observed)):
+        if got != want:
+            problems.append(
+                f"position {index}: trace submitted {got!r}, "
+                f"schedule shows {want!r}"
+            )
+    return problems

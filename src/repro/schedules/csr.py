@@ -11,7 +11,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import NonSerializableError
-from repro.schedules.model import Operation, OpType, Schedule
+from repro.schedules.model import OpType, Schedule
 from repro.schedules.serialization_graph import serialization_graph
 
 

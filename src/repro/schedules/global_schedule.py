@@ -13,7 +13,7 @@ provides the global-serializability test used for verification.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro import fastpath
 from repro.exceptions import NonSerializableError, ScheduleError

@@ -17,7 +17,7 @@ paper's schemes guarantee the stronger notion.
 
 from __future__ import annotations
 
-from typing import Iterable, Set, Tuple
+from typing import Tuple
 
 from repro.schedules.global_schedule import GlobalSchedule
 from repro.schedules.serialization_graph import (

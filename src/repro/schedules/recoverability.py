@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.schedules.model import Operation, OpType, Schedule
+from repro.schedules.model import OpType, Schedule
 
 
 @dataclass(frozen=True)
@@ -72,10 +72,6 @@ def is_recoverable(schedule: Schedule) -> bool:
     whose writer aborts after the reader committed — violates RC.
     """
     outcome = _termination_positions(schedule)
-    positions = {
-        (op.transaction_id, id(op)): index
-        for index, op in enumerate(schedule)
-    }
     for pair in reads_from_pairs(schedule):
         reader = outcome.get(pair.reader)
         if reader is None or reader[0] != "c":

@@ -22,7 +22,7 @@ that the selection really is a serialization function).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional
 
 from repro.exceptions import ProtocolViolation
 from repro.schedules.model import Operation, OpType, Schedule

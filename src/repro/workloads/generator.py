@@ -13,8 +13,8 @@ The knobs mirror the paper's analysis parameters:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.core.gtm import GlobalProgram
 from repro.workloads.distributions import UniformItems, ZipfItems, make_items

@@ -21,11 +21,11 @@ Trace generators cover the benchmark needs:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.engine import Engine
-from repro.core.events import Ack, Fin, Init, QueueOp, Ser
+from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.metrics import SchemeMetrics
 from repro.core.scheme import ConservativeScheme
 from repro.exceptions import SchedulerError
@@ -126,6 +126,7 @@ def drive(
     scheme: ConservativeScheme,
     trace: Trace,
     force_full_rescan: bool = False,
+    tracer=None,
 ) -> DriveResult:
     """Replay *trace* against *scheme* with synchronous servers.
 
@@ -133,7 +134,9 @@ def drive(
     submission (the local DBMS executed it); ``fin_i`` enters once all of
     ``Ĝ_i``'s acks have been forwarded to GTM1 — the replay equivalent of
     the GTM1 protocol of §4.  ``force_full_rescan`` replays with the
-    literal Figure 3 WAIT semantics (differential testing).
+    literal Figure 3 WAIT semantics (differential testing).  *tracer*
+    (:class:`repro.observability.Tracer`) records the engine's decision
+    spans; it never affects the replayed decisions.
     """
     ser_schedule = SerSchedule()
     acks_expected: Dict[str, set] = {}
@@ -157,6 +160,7 @@ def drive(
         submit_handler=on_submit,
         ack_handler=on_ack,
         force_full_rescan=force_full_rescan,
+        tracer=tracer,
     )
 
     for record in trace.records:

@@ -8,7 +8,6 @@ non-serializable ``ser(S)``, so "broken somewhere" means at least one
 seed raises while the sound variant never does.
 """
 
-import pytest
 
 from repro.baselines import SiteGraphScheme
 from repro.core import Scheme1, Scheme2, Scheme3

@@ -8,7 +8,6 @@ on throughput drops and on baselines with nothing to compare.
 
 import json
 
-import pytest
 
 from repro.analysis import bench
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.engine import Engine
-from repro.core.events import Ack, Fin, Init, Ser
+from repro.core.events import Ack, Init, Ser
 from repro.core.scheme import ConservativeScheme
 from repro.exceptions import SchedulerError
 

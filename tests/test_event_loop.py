@@ -9,7 +9,6 @@ import random
 
 import pytest
 
-from repro import fastpath
 from repro.mdbs.events import _COMPACT_MIN, EventLoop, SimulationError
 
 
@@ -113,14 +112,14 @@ def test_fast_and_legacy_same_execution_trace():
                 label2 = f"{label}+"
                 handles.append(
                     loop.schedule(
-                        rng.uniform(0, 5), lambda l=label2: tick(l)
+                        rng.uniform(0, 5), lambda name=label2: tick(name)
                     )
                 )
 
         for i in range(100):
             handles.append(
                 loop.schedule(
-                    rng.uniform(0, 50), lambda l=f"e{i}": tick(l)
+                    rng.uniform(0, 50), lambda name=f"e{i}": tick(name)
                 )
             )
         loop.run()

@@ -20,7 +20,7 @@ import pytest
 
 from repro.core import Scheme0, Scheme1, Scheme2, Scheme3, make_scheme
 from repro.core.engine import Engine
-from repro.core.events import Ack, Fin, Init, Ser
+from repro.core.events import Init, Ser
 from repro.core.recovery import Journal, recover_engine
 from repro.faults import (
     FaultConfigError,
@@ -128,7 +128,6 @@ class TestFaultModel:
 
     def test_message_fate_deterministic_per_seed(self):
         plan = FaultPlan.random(5, ("s0",), loss_rate=0.3)
-        fates_a = [FaultInjector(plan).message_fate() for _ in range(1)]
         first = FaultInjector(plan)
         second = FaultInjector(plan)
         assert [first.message_fate() for _ in range(50)] == [

@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.core import GlobalProgram, GTMSystem, make_scheme, SCHEMES
+from repro.core import GlobalProgram, GTMSystem, make_scheme
 from repro.lmdbs import LocalDBMS, PROTOCOLS, make_protocol
 from repro.mdbs import MDBSSimulator, SimulationConfig, assert_verified
 from repro.workloads import WorkloadConfig, WorkloadGenerator

@@ -1,7 +1,6 @@
 """Edge-case tests for the synchronous GTM: restarts, failure reporting,
 purging, ticket monotonicity, and abort-listener integration."""
 
-import pytest
 
 from repro.core import GlobalProgram, GTMSystem, make_scheme
 from repro.lmdbs import LocalDBMS, make_protocol

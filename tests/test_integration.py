@@ -70,7 +70,6 @@ class TestIndirectConflicts:
     def test_with_gtm2_the_same_pattern_is_safe(self, scheme_name):
         """Under any of the paper's schemes, randomized mixtures of the
         same shape stay globally serializable."""
-        rng = random.Random(42)
         cfg = WorkloadConfig(
             sites=2, items_per_site=4, dav=2.0, ops_per_site=2, seed=42
         )

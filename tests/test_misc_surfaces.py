@@ -1,7 +1,6 @@
 """Tests for smaller public surfaces: metrics, history, reporting,
 exceptions, verification internals, trace generators' structure."""
 
-import pytest
 
 from repro.core.metrics import SchemeMetrics
 from repro.exceptions import (
@@ -12,7 +11,7 @@ from repro.exceptions import (
 )
 from repro.lmdbs.history import HistoryLog
 from repro.analysis.reporting import render_mapping, render_table
-from repro.schedules.model import OpType, abort, begin, commit, read, write
+from repro.schedules.model import OpType, abort, begin, commit, read
 from repro.mdbs.verification import serialization_order_consistent, verify
 from repro.schedules.global_schedule import (
     GlobalSchedule,
@@ -52,6 +51,7 @@ class TestSchemeMetrics:
             "graph_ops",
             "dfs_steps_avoided",
             "wake_retries_skipped",
+            "delta_edges",
         }
 
 

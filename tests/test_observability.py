@@ -1,0 +1,323 @@
+"""Tests for repro.observability: the unified metrics registry, the
+span tracer (determinism, zero overhead when disabled, replay against
+ser(S)), the --explain cause chains, and the CLI integration points
+that CI's chaos-smoke assertion relies on."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import make_scheme
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    explain_transaction,
+    parse_prometheus,
+    replay_check,
+    scheme_metrics_to_registry,
+    spans_from_jsonl,
+)
+from repro.observability.registry import DEFAULT_BUCKETS
+from repro.workloads.traces import drive, random_trace
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("gtm.waits").inc()
+        registry.counter("gtm.waits").inc(4)
+        assert registry.counter("gtm.waits").value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("gtm.waits").inc(-1)
+
+    def test_gauge_sets(self):
+        registry = MetricsRegistry()
+        registry.gauge("sim.duration").set(60.0)
+        registry.gauge("sim.duration").set(42.0)
+        assert registry.gauge("sim.duration").value == 42.0
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("Bad Name")
+        with pytest.raises(ValueError):
+            registry.counter(".leading.dot")
+
+    def test_family_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("gtm.waits")
+        with pytest.raises(ValueError):
+            registry.gauge("gtm.waits")
+        with pytest.raises(ValueError):
+            registry.histogram("gtm.waits", DEFAULT_BUCKETS)
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("commit.latency_ms", (1.0, 5.0))
+        for value in (0.5, 0.7, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.cumulative_counts() == [2, 3]
+        assert histogram.inf_count == 1  # only 100.0 exceeds every edge
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(104.2)
+
+    def test_histogram_redeclare_same_buckets_ok(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h.x", (1.0, 2.0))
+        assert registry.histogram("h.x", (1.0, 2.0)) is first
+        with pytest.raises(ValueError):
+            registry.histogram("h.x", (1.0, 3.0))
+
+    def test_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("faults.retries").inc(7)
+        registry.gauge("sim.quarantined_sites").set(2)
+        registry.histogram("sim.response_time", (1.0, 10.0)).observe(3.5)
+        restored = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert restored.snapshot() == registry.snapshot()
+        assert restored.render_prometheus() == registry.render_prometheus()
+
+    def test_snapshot_survives_json(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(3)
+        registry.histogram("c.d", (1.0,)).observe(0.5)
+        payload = json.loads(registry.to_json())
+        restored = MetricsRegistry.from_snapshot(payload)
+        assert restored.counter("a.b").value == 3
+
+    def test_merge_semantics(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.counter("faults.retries").inc(2)
+        right.counter("faults.retries").inc(3)
+        left.gauge("sim.quarantined_sites").set(1)
+        right.gauge("sim.quarantined_sites").set(4)
+        left.histogram("h.v", (1.0,)).observe(0.5)
+        right.histogram("h.v", (1.0,)).observe(2.0)
+        left.merge(right)
+        # counters and histograms add; gauges keep the max
+        assert left.counter("faults.retries").value == 5
+        assert left.gauge("sim.quarantined_sites").value == 4
+        merged_histogram = left.histogram("h.v", (1.0,))
+        assert merged_histogram.count == 2
+        assert merged_histogram.inf_count == 1  # only the 2.0 observation
+
+    def test_prometheus_dump_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("faults.retries").inc(9)
+        registry.histogram("commit.indoubt_ms", (5.0, 50.0)).observe(7.0)
+        text = registry.render_prometheus()
+        assert "# TYPE faults_retries counter" in text
+        values = parse_prometheus(text)
+        assert values["faults_retries"] == 9
+        assert values['commit_indoubt_ms_bucket{le="50"}'] == 1
+        assert values['commit_indoubt_ms_bucket{le="+Inf"}'] == 1
+        assert values["commit_indoubt_ms_count"] == 1
+
+    def test_integer_values_render_without_decimal(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(3)
+        assert "a_b 3\n" in registry.render_prometheus()
+
+
+class TestTracerDeterminism:
+    def _traced_jsonl(self):
+        trace = random_trace(8, 3, 2, seed=0)
+        tracer = Tracer()
+        drive(make_scheme("scheme2"), trace, tracer=tracer)
+        return tracer.to_jsonl()
+
+    def test_same_seed_byte_identical_jsonl(self):
+        assert self._traced_jsonl() == self._traced_jsonl()
+
+    def test_jsonl_round_trip(self):
+        text = self._traced_jsonl()
+        spans = spans_from_jsonl(text)
+        rebuilt = "\n".join(
+            json.dumps(span.to_dict(), sort_keys=True) for span in spans
+        )
+        assert rebuilt == text.rstrip("\n")
+
+    def test_tracing_does_not_change_decisions(self):
+        trace = random_trace(8, 3, 2, seed=0)
+        plain = drive(make_scheme("scheme2"), random_trace(8, 3, 2, seed=0))
+        tracer = Tracer()
+        traced = drive(make_scheme("scheme2"), trace, tracer=tracer)
+        assert traced.metrics.summary() == plain.metrics.summary()
+        assert [
+            (op.transaction_id, op.site) for op in traced.ser_schedule
+        ] == [(op.transaction_id, op.site) for op in plain.ser_schedule]
+        assert traced.submission_order == plain.submission_order
+
+    @pytest.mark.parametrize(
+        "scheme_name", ["scheme0", "scheme1", "scheme2", "scheme3"]
+    )
+    def test_replay_matches_ser_schedule(self, scheme_name):
+        tracer = Tracer()
+        result = drive(
+            make_scheme(scheme_name),
+            random_trace(10, 3, 2, seed=4),
+            tracer=tracer,
+        )
+        assert not result.aborted
+        problems = replay_check(
+            tracer.spans,
+            [(op.transaction_id, op.site) for op in result.ser_schedule],
+        )
+        assert problems == []
+
+    def test_replay_detects_reordering(self):
+        tracer = Tracer()
+        result = drive(
+            make_scheme("scheme2"), random_trace(6, 2, 2, seed=1), tracer=tracer
+        )
+        schedule = [
+            (op.transaction_id, op.site) for op in result.ser_schedule
+        ]
+        schedule[0], schedule[1] = schedule[1], schedule[0]
+        assert replay_check(tracer.spans, schedule) != []
+
+
+class TestExplain:
+    def test_scheme2_names_blocking_tsgd_edge(self):
+        tracer = Tracer()
+        drive(make_scheme("scheme2"), random_trace(8, 3, 2, seed=0), tracer=tracer)
+        waited = [
+            span
+            for span in tracer.spans
+            if span.name == "gtm.wait" and span.cause is not None
+        ]
+        assert waited, "seed 0 workload should produce at least one wait"
+        text = explain_transaction(tracer.spans, waited[0].txn)
+        assert "WAIT" in text
+        assert "TSGD edge" in text or "ser_bef" in text
+        assert "GRANT" in text
+
+    def test_scheme3_names_ser_bef_constraint(self):
+        tracer = Tracer()
+        drive(make_scheme("scheme3"), random_trace(10, 3, 2, seed=2), tracer=tracer)
+        causes = {
+            span.cause["type"]
+            for span in tracer.spans
+            if span.name == "gtm.wait" and span.cause
+        }
+        assert causes & {"ser-bef", "ser-bef-nonempty", "one-outstanding"}
+
+    def test_unknown_transaction_lists_known(self):
+        tracer = Tracer()
+        drive(make_scheme("scheme0"), random_trace(4, 2, 2, seed=0), tracer=tracer)
+        text = explain_transaction(tracer.spans, "NOPE")
+        assert "no trace recorded" in text
+        assert "G0" in text
+
+
+class TestExport:
+    def test_scheme_metrics_to_registry(self):
+        result = drive(make_scheme("scheme2"), random_trace(8, 3, 2, seed=0))
+        registry = scheme_metrics_to_registry(result.metrics, scheme="scheme2")
+        values = parse_prometheus(registry.render_prometheus())
+        assert values["gtm_steps"] == result.metrics.steps
+        assert values["gtm_waits"] == sum(result.metrics.waited.values())
+        assert values["scheme2_delta_edges"] == result.metrics.delta_edges
+        assert result.metrics.delta_edges > 0
+
+    def test_report_to_registry(self):
+        from repro.faults.chaos import ChaosOptions, run_chaos
+        from repro.observability import report_to_registry
+
+        chaos = run_chaos(ChaosOptions(scheme="scheme2"), 0)
+        registry = report_to_registry(chaos.report, scheme="scheme2")
+        values = parse_prometheus(registry.render_prometheus())
+        assert values["sim_committed_global"] == chaos.report.committed_global
+        assert values["faults_retries"] >= 0
+        assert values["scheme2_runs"] == 1
+
+    def test_bench_results_to_registry(self):
+        from repro.analysis.bench import results_to_registry
+
+        cells = [
+            {
+                "scheme": "scheme2",
+                "committed": 10,
+                "events": 100,
+                "scheme_steps": 50,
+                "graph_ops": 5,
+                "dfs_steps_avoided": 2,
+                "wake_retries_skipped": 1,
+                "wall_s": 0.25,
+            }
+        ] * 2
+        values = parse_prometheus(
+            results_to_registry(cells).render_prometheus()
+        )
+        assert values["bench_cells"] == 2
+        assert values["bench_committed"] == 20
+        assert values["gtm_steps"] == 100
+        assert values["scheme2_cells"] == 2
+
+
+class TestCLI:
+    def test_trace_explain_deterministic(self, capsys):
+        argv = [
+            "trace",
+            "--scheme",
+            "scheme2",
+            "--seed",
+            "0",
+            "--explain",
+            "G3",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "causal chain for G3" in first
+        assert "trace replay matches ser(S)" in first
+
+    def test_trace_jsonl_written(self, tmp_path, capsys):
+        path = tmp_path / "spans.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--scheme",
+                    "scheme1",
+                    "--seed",
+                    "1",
+                    "--jsonl",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        spans = spans_from_jsonl(path.read_text())
+        assert any(span.name == "site.submit" for span in spans)
+
+    def test_chaos_metrics_out(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        rc = main(
+            [
+                "chaos",
+                "--runs",
+                "2",
+                "--schemes",
+                "scheme2",
+                "--loss-rate",
+                "0.2",
+                "--seed",
+                "0",
+                "--metrics-out",
+                str(path),
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        values = parse_prometheus(path.read_text())
+        assert values["faults_retries"] > 0
+        assert values["chaos_runs"] == 2

@@ -3,7 +3,7 @@ fault tolerance, implemented in :mod:`repro.core.recovery`)."""
 
 import pytest
 
-from repro.core import Scheme0, Scheme1, Scheme2, Scheme3, make_scheme
+from repro.core import Scheme0, Scheme1, Scheme2, Scheme3
 from repro.core.engine import Engine
 from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.recovery import Journal, recover_engine, replay_scheme

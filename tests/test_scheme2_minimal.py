@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import Scheme2, Scheme2Minimal
-from repro.exceptions import SchedulerError
 from repro.workloads.traces import drive, random_trace
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import GlobalProgram, make_scheme
+from repro.core import make_scheme
 from repro.lmdbs import LocalDBMS, make_protocol
 from repro.mdbs import (
     EventLoop,
