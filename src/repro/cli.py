@@ -44,7 +44,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import render_table
 from repro.baselines import BASELINES, make_baseline
@@ -214,6 +214,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid fault configuration: {error}")
     rows = []
     violations: List[str] = []
+    windows: Dict[str, List[Tuple[float, float]]] = {}
+    fanout = stale_refused = snapshots = 0
     for name in args.schemes:
         committed = failed = crashes_gtm = crashes_site = 0
         retries = dropped = bad = 0
@@ -232,6 +234,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 downtime=args.downtime,
                 atomic_commit=args.atomic_commit,
                 prepare_crash_count=args.prepare_crashes,
+                replication_degree=args.replication_degree,
+                replicated_items=args.replicated_items,
+                ro_fraction=args.ro_fraction,
+                write_crash_count=args.write_crashes,
             )
             result = run_chaos(options, seed)
             if registry is not None:
@@ -246,6 +252,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             stats = result.report.fault_stats
             retries += stats.retries
             dropped += stats.messages_dropped
+            for site, down, up in result.report.availability_windows:
+                windows.setdefault(site, []).append((down, up))
+            if result.report.replication is not None:
+                fanout += result.report.replication.writes_fanout
+                stale_refused += (
+                    result.report.replication.stale_reads_refused
+                )
+                snapshots += result.report.snapshot_committed
             if not result.ok:
                 bad += 1
                 for reason in result.failure_reasons():
@@ -283,6 +297,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if windows:
+        print("per-site availability windows (down -> up, all runs):")
+        for site in sorted(windows):
+            spans = ", ".join(
+                f"[{down:g}, {up:g}]" for down, up in windows[site]
+            )
+            total = sum(up - down for down, up in windows[site])
+            print(
+                f"  {site}: {len(windows[site])} outage(s), "
+                f"{total:g} time units dark: {spans}"
+            )
+    if args.replication_degree >= 1:
+        print(
+            f"replication: degree={args.replication_degree}, "
+            f"writes fanned out to {fanout} copies, "
+            f"{stale_refused} stale reads refused, "
+            f"{snapshots} snapshot read-only txns served"
+        )
     if registry is not None:
         with open(args.metrics_out, "w") as handle:
             handle.write(registry.render_prometheus())
@@ -502,6 +534,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="site crashes keyed to 2PC progress (after the n-th YES "
         "vote); needs --atomic-commit to matter",
+    )
+    chaos_parser.add_argument(
+        "--replication-degree",
+        type=int,
+        default=0,
+        help="copies per logical item under available-copies "
+        "replication; 0 (default) = the paper's single-copy model",
+    )
+    chaos_parser.add_argument(
+        "--replicated-items",
+        type=int,
+        default=8,
+        help="shared logical items placed by the replica map",
+    )
+    chaos_parser.add_argument(
+        "--ro-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of global transactions forced read-only "
+        "(served from the committed multiversion snapshot)",
+    )
+    chaos_parser.add_argument(
+        "--write-crashes",
+        type=int,
+        default=0,
+        help="site crashes keyed to replicated-write progress (crash "
+        "between the replica writes of one fanned-out logical write); "
+        "needs --replication-degree >= 1 to matter",
     )
     chaos_parser.add_argument(
         "--metrics-out",

@@ -62,6 +62,7 @@ class CommitParticipant:
         fate: Optional[Callable[[], Tuple[float, ...]]] = None,
         on_yes_vote: Optional[Callable[[str, int], None]] = None,
         tracer=None,
+        site_up: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.site = site
         #: optional :class:`repro.observability.Tracer` for vote /
@@ -92,6 +93,12 @@ class CommitParticipant:
         self._committing: Set[str] = set()
         self._commit_waiters: Dict[str, List[DecisionAck]] = {}
         self._yes_votes = 0
+        #: the consolidated availability check (repro.faults.site_up);
+        #: the simulator wires injector down-windows in, the default
+        #: sees only DBMS availability
+        self.site_up: Callable[[], bool] = (
+            site_up if site_up is not None else (lambda: self.db.available)
+        )
 
     # ------------------------------------------------------------------
     # phase 1: PREPARE
@@ -207,7 +214,7 @@ class CommitParticipant:
         """Peer-inquiry answer: True/False when this site saw the
         decision (its durable history has a COMMIT/ABORT), None when it
         has no information (or is dark)."""
-        if not self.db.available:
+        if not self.site_up():
             return None
         outcome = self.db.history.outcome_of(incarnation)
         if outcome is OpType.COMMIT:
@@ -250,7 +257,7 @@ class CommitParticipant:
         the first definite answer resolves the in-doubt transaction."""
         if incarnation not in self._in_doubt_since:
             return
-        if not self.db.available:
+        if not self.site_up():
             self._arm_termination(incarnation)
             return  # we are dark; try again after the next backoff
         self.stats.termination_rounds += 1
@@ -302,7 +309,7 @@ class CommitParticipant:
     ) -> None:
         if incarnation not in self._in_doubt_since:
             return  # the real decision (or another reply) got here first
-        if not self.db.available:
+        if not self.site_up():
             return  # crashed while the reply was in flight
         if by_peer:
             self.stats.resolved_by_peer += 1

@@ -18,7 +18,7 @@ The package provides a seeded, deterministic fault subsystem:
 See ``docs/fault_model.md`` for the delivery/ordering assumptions.
 """
 
-from repro.faults.injector import FaultInjector, SiteChannel
+from repro.faults.injector import FaultInjector, SiteChannel, site_up
 from repro.faults.model import (
     FaultConfigError,
     FaultStats,
@@ -26,6 +26,7 @@ from repro.faults.model import (
     PrepareCrash,
     RetryPolicy,
     SiteCrash,
+    WriteCrash,
 )
 from repro.faults.plan import FaultPlan
 
@@ -39,4 +40,6 @@ __all__ = [
     "RetryPolicy",
     "SiteCrash",
     "SiteChannel",
+    "WriteCrash",
+    "site_up",
 ]

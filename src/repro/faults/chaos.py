@@ -21,7 +21,7 @@ re-exported from :mod:`repro.faults` (which :mod:`repro.mdbs` imports).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core import make_scheme
 from repro.faults.injector import FaultInjector
@@ -36,10 +36,12 @@ from repro.mdbs.simulator import (
 from repro.mdbs.verification import (
     AtomicityReport,
     ExactlyOnceReport,
+    ReplicaConsistencyReport,
     VerificationReport,
     check_exactly_once,
     verify,
 )
+from repro.replication import ReplicaMap
 from repro.workloads.generator import WorkloadConfig, WorkloadGenerator
 
 #: protocols cycled over the sites: a locking site, a timestamp site,
@@ -71,6 +73,19 @@ class ChaosOptions:
     #: crashes keyed to 2PC progress (site down right after its n-th
     #: YES vote); only drawn when > 0, so legacy plans are unchanged
     prepare_crash_count: int = 0
+    #: available-copies replication (repro.replication): copies per
+    #: logical item; 0 = off — the paper's single-copy model, and the
+    #: whole run byte-identical to pre-replication chaos
+    replication_degree: int = 0
+    #: shared logical items placed by the replica map (named ``x0..``,
+    #: disjoint from the site-local ``s0_x..`` item pools)
+    replicated_items: int = 8
+    #: fraction of global transactions forced read-only — the snapshot
+    #: population (only meaningful with replication on)
+    ro_fraction: float = 0.25
+    #: crashes keyed to replicated-write progress (site down right
+    #: after its n-th replica write); only drawn when > 0
+    write_crash_count: int = 0
 
 
 @dataclass
@@ -87,6 +102,8 @@ class ChaosResult:
     terminated: bool
     #: logical transactions neither committed nor reported failed
     unresolved: Tuple[str, ...]
+    #: replica-copy order agreement (None when replication is off)
+    replicas: Optional[ReplicaConsistencyReport] = None
 
     @property
     def ok(self) -> bool:
@@ -95,6 +112,7 @@ class ChaosResult:
             and self.exactly_once.ok
             and self.atomicity.ok
             and self.terminated
+            and (self.replicas is None or self.replicas.ok)
         )
 
     def failure_reasons(self) -> Tuple[str, ...]:
@@ -116,6 +134,10 @@ class ChaosResult:
             )
         if not self.terminated:
             reasons.append(f"did not terminate (unresolved {self.unresolved})")
+        if self.replicas is not None and not self.replicas.ok:
+            reasons.append(
+                f"replica copies diverged: {self.replicas.divergent}"
+            )
         return tuple(reasons)
 
 
@@ -129,10 +151,25 @@ def build_chaos_simulator(
     )
     site_names = workload.config.site_names
     protocols = list(options.protocols) * options.sites
-    sites = {
-        name: LocalDBMS(name, make_protocol(protocols[index]))
-        for index, name in enumerate(site_names)
-    }
+    replica_map = None
+    shared_items: Tuple[str, ...] = ()
+    if options.replication_degree >= 1:
+        shared_items = tuple(
+            f"x{index}" for index in range(options.replicated_items)
+        )
+        replica_map = ReplicaMap.build(
+            shared_items, tuple(site_names), options.replication_degree
+        )
+    sites = {}
+    for index, name in enumerate(site_names):
+        initial = (
+            {item: 0 for item in replica_map.items_at(name)}
+            if replica_map is not None
+            else None
+        )
+        sites[name] = LocalDBMS(
+            name, make_protocol(protocols[index]), initial=initial
+        )
     plan = FaultPlan.random(
         seed,
         tuple(site_names),
@@ -144,6 +181,7 @@ def build_chaos_simulator(
         site_crash_count=options.site_crash_count,
         downtime=options.downtime,
         prepare_crash_count=options.prepare_crash_count,
+        write_crash_count=options.write_crash_count,
     )
     simulator = MDBSSimulator(
         sites,
@@ -153,11 +191,19 @@ def build_chaos_simulator(
         injector=FaultInjector(plan),
         scheme_factory=lambda: make_scheme(options.scheme),
         atomic_commit=options.atomic_commit,
+        replica_map=replica_map,
     )
-    for index, program in enumerate(
-        workload.global_batch(options.global_txns)
-    ):
-        simulator.submit_global(program, at=index * options.spacing)
+    if replica_map is not None:
+        batch = workload.logical_batch(
+            options.global_txns, shared_items, ro_fraction=options.ro_fraction
+        )
+        for index, logical in enumerate(batch):
+            simulator.submit_logical(logical, at=index * options.spacing)
+    else:
+        for index, program in enumerate(
+            workload.global_batch(options.global_txns)
+        ):
+            simulator.submit_global(program, at=index * options.spacing)
     for index, local in enumerate(workload.local_batch(options.local_txns)):
         simulator.submit_local(local, at=index * options.spacing / 2)
     return simulator, plan
@@ -170,15 +216,22 @@ def run_chaos(options: ChaosOptions, seed: int) -> ChaosResult:
     verification = verify(simulator.global_schedule(), simulator.ser_schedule)
     exactly_once = simulator.exactly_once_report()
     atomicity = simulator.atomicity_report()
-    resolved = set(simulator.committed_global) | set(simulator.failed_global)
+    resolved = (
+        set(simulator.committed_global)
+        | set(simulator.failed_global)
+        | set(simulator.snapshot_committed)
+        | set(simulator.snapshot_failed)
+    )
+    admitted = set(simulator._programs) | set(simulator._logical_programs)
     unresolved = tuple(
-        sorted(
-            logical
-            for logical in simulator._programs
-            if logical not in resolved
-        )
+        sorted(logical for logical in admitted if logical not in resolved)
     )
     terminated = simulator.loop.pending == 0 and not unresolved
+    replicas = (
+        simulator.replicas_report()
+        if simulator.replica_map is not None
+        else None
+    )
     return ChaosResult(
         seed=seed,
         options=options,
@@ -188,6 +241,7 @@ def run_chaos(options: ChaosOptions, seed: int) -> ChaosResult:
         atomicity=atomicity,
         terminated=terminated,
         unresolved=unresolved,
+        replicas=replicas,
     )
 
 

@@ -22,11 +22,21 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.faults.model import FaultStats
 from repro.faults.plan import FaultPlan
 from repro.schedules.model import Operation, OpType
+
+
+def site_up(db, injector: Optional["FaultInjector"] = None, now: float = 0.0) -> bool:
+    """Whether *db*'s site can answer right now: the DBMS is available
+    and no injector down-window covers it.  The single availability
+    check used by servers, the simulator, and 2PC participants (they
+    each used to test ``db.available`` / ``injector.site_down`` ad hoc)."""
+    if not db.available:
+        return False
+    return injector is None or not injector.site_down(db.site, now)
 
 #: Result handler of one delivery: ``on_result(value, aborted, replayed)``.
 #: ``replayed`` is True when the result comes from the idempotency cache
@@ -149,6 +159,9 @@ class FaultInjector:
         self._sequence = itertools.count(1)
         self._channels: Dict[str, SiteChannel] = {}
         self._down_until: Dict[str, float] = {}
+        self._down_since: Dict[str, float] = {}
+        #: closed per-site outage windows: (site, went_down, came_up)
+        self.availability_windows: List[Tuple[str, float, float]] = []
 
     # ------------------------------------------------------------------
     # submission sequencing / idempotency
@@ -204,12 +217,27 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # site availability
     # ------------------------------------------------------------------
-    def mark_down(self, site: str, until: float) -> None:
+    def mark_down(
+        self, site: str, until: float, since: Optional[float] = None
+    ) -> None:
+        if site not in self._down_until and since is not None:
+            self._down_since[site] = since
         self._down_until[site] = max(self._down_until.get(site, 0.0), until)
 
-    def mark_up(self, site: str) -> None:
+    def mark_up(self, site: str, at: Optional[float] = None) -> None:
         self._down_until.pop(site, None)
+        since = self._down_since.pop(site, None)
+        if since is not None and at is not None:
+            self.availability_windows.append((site, since, at))
 
     def site_down(self, site: str, now: float) -> bool:
         until = self._down_until.get(site)
         return until is not None and now < until
+
+    def windows_of(self, site: str) -> Tuple[Tuple[float, float], ...]:
+        """Closed outage windows of *site*, in occurrence order."""
+        return tuple(
+            (start, end)
+            for s, start, end in self.availability_windows
+            if s == site
+        )

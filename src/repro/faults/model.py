@@ -107,6 +107,30 @@ class PrepareCrash:
             raise FaultConfigError(f"negative downtime in {self!r}")
 
 
+@dataclass(frozen=True)
+class WriteCrash:
+    """A site crash scheduled *relative to replicated-write progress*:
+    the site goes down right after executing its *after_writes*-th
+    global WRITE of a replicated item — i.e. between the replica writes
+    of one fanned-out logical write, the window where the available-
+    copies rule must abort the writer (a target copy went dark before
+    prepare) rather than commit a partial fan-out.  Only meaningful when
+    the simulator runs with a replica map."""
+
+    site: str
+    #: crash after this many replicated-item writes at the site (1-based)
+    after_writes: int = 1
+    downtime: float = 25.0
+
+    def validate(self) -> None:
+        if self.after_writes < 1:
+            raise FaultConfigError(
+                f"after_writes must be >= 1, got {self.after_writes}"
+            )
+        if self.downtime < 0:
+            raise FaultConfigError(f"negative downtime in {self!r}")
+
+
 @dataclass
 class RetryPolicy:
     """Ack-timeout and retry behaviour of one resilient server link.

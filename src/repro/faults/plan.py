@@ -19,6 +19,7 @@ from repro.faults.model import (
     MessageFaultConfig,
     PrepareCrash,
     SiteCrash,
+    WriteCrash,
 )
 
 
@@ -35,6 +36,10 @@ class FaultPlan:
     #: the site goes dark right after its n-th YES vote (ignored unless
     #: the simulator runs with ``atomic_commit=True``)
     crash_after_prepare: Tuple[PrepareCrash, ...] = ()
+    #: site crashes keyed to replicated-write progress: the site goes
+    #: dark right after executing its n-th global WRITE of a replicated
+    #: item (ignored unless the simulator runs with a replica map)
+    crash_after_writes: Tuple[WriteCrash, ...] = ()
 
     def validate(self) -> None:
         self.messages.validate()
@@ -45,6 +50,8 @@ class FaultPlan:
             crash.validate()
         for crash in self.crash_after_prepare:
             crash.validate()
+        for crash in self.crash_after_writes:
+            crash.validate()
 
     @property
     def is_quiet(self) -> bool:
@@ -54,6 +61,7 @@ class FaultPlan:
             and not self.gtm_crashes
             and not self.site_crashes
             and not self.crash_after_prepare
+            and not self.crash_after_writes
         )
 
     @classmethod
@@ -94,6 +102,11 @@ class FaultPlan:
                 build(PrepareCrash, crash)
                 for crash in kwargs["crash_after_prepare"]
             )
+        if "crash_after_writes" in kwargs:
+            kwargs["crash_after_writes"] = tuple(
+                build(WriteCrash, crash)
+                for crash in kwargs["crash_after_writes"]
+            )
         try:
             plan = cls(**kwargs)
         except TypeError as exc:
@@ -114,13 +127,18 @@ class FaultPlan:
         site_crash_count: int = 1,
         downtime: float = 25.0,
         prepare_crash_count: int = 0,
+        write_crash_count: int = 0,
     ) -> "FaultPlan":
         """Draw a randomized schedule: crash instants uniform in *window*,
         crashing sites drawn uniformly from *sites*.  Fully determined by
         *seed*.  ``prepare_crash_count`` draws 2PC-progress-keyed crashes
         (site after its n-th YES vote, n uniform in 1..3); it defaults to
         0 and its draws come *after* all legacy draws, so plans built
-        with the default are byte-identical to pre-2PC plans."""
+        with the default are byte-identical to pre-2PC plans.
+        ``write_crash_count`` likewise draws replication-progress-keyed
+        crashes (site after its n-th replicated write, n uniform in
+        1..3); its draws come after the prepare-crash draws, preserving
+        the same byte-identity property."""
         rng = random.Random(seed)
         start, end = window
         if end <= start:
@@ -149,6 +167,14 @@ class FaultPlan:
             )
             for _ in range(prepare_crash_count)
         )
+        crash_after_writes = tuple(
+            WriteCrash(
+                site=rng.choice(list(sites)),
+                after_writes=rng.randint(1, 3),
+                downtime=downtime,
+            )
+            for _ in range(write_crash_count)
+        )
         plan = cls(
             seed=seed,
             messages=MessageFaultConfig(
@@ -159,6 +185,7 @@ class FaultPlan:
             gtm_crashes=gtm_crashes,
             site_crashes=site_crashes,
             crash_after_prepare=crash_after_prepare,
+            crash_after_writes=crash_after_writes,
         )
         plan.validate()
         return plan

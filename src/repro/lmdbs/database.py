@@ -92,6 +92,15 @@ class LocalDBMS:
         #: learn about aborts of its subtransactions, e.g. deadlock
         #: victims it did not submit the fatal operation for)
         self.abort_listeners: List[Callable[[str, str], None]] = []
+        #: simulation clock used to stamp committed versions (the
+        #: simulator wires this to its event loop; None = commit counter)
+        self.clock: Optional[Callable[[], float]] = None
+        #: listeners invoked as ``listener(transaction_id, write_items,
+        #: at)`` after every commit at this site (the replication layer's
+        #: CatchupTracker subscribes to clear stale copies)
+        self.commit_listeners: List[
+            Callable[[str, frozenset, float], None]
+        ] = []
 
     # ------------------------------------------------------------------
     # public interface (what servers see)
@@ -281,9 +290,17 @@ class LocalDBMS:
                 # conflict order matches when they actually took effect
                 for txn_operation in self._deferred_writes(transaction_id):
                     self.history.record(txn_operation)
-            self.storage.commit(transaction_id)
+            # the workspace closes on commit, so capture the write set
+            # for the commit listeners (replication catch-up) first
+            write_items = self.storage.write_set(transaction_id)
+            at = self.clock() if self.clock is not None else None
+            counter = self.storage.commit(transaction_id, at=at)
+            stamp = float(counter) if at is None else at
+            self.history.note_commit_time(transaction_id, stamp)
             self._active.discard(transaction_id)
             self.history.record(operation)
+            for listener in self.commit_listeners:
+                listener(transaction_id, write_items, stamp)
         else:  # pragma: no cover - aborts go through _perform_abort
             raise ProtocolViolation(f"cannot execute {operation!r}")
         return value

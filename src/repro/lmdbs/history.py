@@ -30,6 +30,7 @@ class HistoryLog:
         self.site = site
         self._schedule = Schedule()
         self._prepared: Dict[str, None] = {}
+        self._commit_times: Dict[str, float] = {}
 
     def record(self, operation: Operation) -> Operation:
         return self._schedule.append(operation)
@@ -52,6 +53,17 @@ class HistoryLog:
             if operation.op_type in (OpType.COMMIT, OpType.ABORT):
                 outcome = operation.op_type
         return outcome
+
+    # ------------------------------------------------------------------
+    # commit timestamps (multiversion snapshot support)
+    # ------------------------------------------------------------------
+    def note_commit_time(self, transaction_id: str, at: float) -> None:
+        """Record when *transaction_id* committed at this site (the stamp
+        its versions carry in storage; see repro.replication)."""
+        self._commit_times[transaction_id] = at
+
+    def commit_time_of(self, transaction_id: str) -> Optional[float]:
+        return self._commit_times.get(transaction_id)
 
     # ------------------------------------------------------------------
     # 2PC prepared ledger (durable; see repro.commit.participant)

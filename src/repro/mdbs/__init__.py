@@ -12,10 +12,12 @@ from repro.mdbs.simulator import (
 from repro.mdbs.verification import (
     AtomicityReport,
     ExactlyOnceReport,
+    ReplicaConsistencyReport,
     VerificationReport,
     assert_verified,
     check_atomicity,
     check_exactly_once,
+    check_replicas,
     committed_ser_projection,
     serialization_order_consistent,
     verify,
@@ -33,10 +35,12 @@ __all__ = [
     "SimulationReport",
     "AtomicityReport",
     "ExactlyOnceReport",
+    "ReplicaConsistencyReport",
     "VerificationReport",
     "assert_verified",
     "check_atomicity",
     "check_exactly_once",
+    "check_replicas",
     "committed_ser_projection",
     "serialization_order_consistent",
     "verify",

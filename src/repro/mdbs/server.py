@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import FaultInjector, site_up
 from repro.faults.model import RetryPolicy
 from repro.lmdbs.database import LocalDBMS
 from repro.mdbs.events import EventLoop, ScheduledEvent
@@ -210,9 +210,7 @@ class ResilientServer(Server):
         def deliver_copy() -> None:
             if self._done:
                 return
-            if not self.db.available or self.injector.site_down(
-                self.db.site, self.loop.now
-            ):
+            if not site_up(self.db, self.injector, self.loop.now):
                 return  # the site is dark; the ack timeout covers us
             channel.deliver(
                 seq,
@@ -354,9 +352,7 @@ class ResilientServer(Server):
         def deliver_copy() -> None:
             if self._done:
                 return
-            if not self.db.available or self.injector.site_down(
-                self.db.site, self.loop.now
-            ):
+            if not site_up(self.db, self.injector, self.loop.now):
                 return  # the site is dark; the ack timeout covers us
             channel.deliver_control(seq, execute, on_result)
 

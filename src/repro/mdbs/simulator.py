@@ -50,15 +50,27 @@ from repro.commit import (
 )
 from repro.core.engine import Engine
 from repro.core.events import Ack, Fin, Init, Ser
-from repro.core.gtm import GlobalProgram, PlannedOp, STRATEGY_BY_PROTOCOL, plan_program
+from repro.core.gtm import (
+    Access,
+    GlobalProgram,
+    PlannedOp,
+    STRATEGY_BY_PROTOCOL,
+    plan_program,
+)
 from repro.core.recovery import Journal, recover_engine
 from repro.core.scheme import ConservativeScheme
 from repro.exceptions import ProtocolViolation, SchedulerError
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import FaultInjector, site_up
 from repro.faults.model import FaultStats, RetryPolicy, SiteCrash
 from repro.lmdbs.database import LocalDBMS
 from repro.mdbs.events import EventLoop, SimulationError
 from repro.mdbs.server import Latencies, ResilientServer, Server
+from repro.replication import (
+    CatchupTracker,
+    LogicalProgram,
+    ReplicaMap,
+    ReplicationStats,
+)
 from repro.schedules.global_schedule import (
     GlobalSchedule,
     SerOperation,
@@ -179,6 +191,17 @@ class SimulationReport:
     wake_retries_skipped: int = 0
     #: events executed by the simulation loop
     events_executed: int = 0
+    # -- replication (None / zeros without a replica map) --------------
+    #: what the replication layer did (see repro.replication.model)
+    replication: Optional[ReplicationStats] = None
+    #: read-only logical transactions served from the committed
+    #: multiversion snapshot (never entered the GTM wait machinery)
+    snapshot_committed: int = 0
+    snapshot_failed: int = 0
+    #: snapshot-transaction response times
+    snapshot_read_times: Tuple[float, ...] = ()
+    #: closed per-site outage windows: (site, went_down, came_up)
+    availability_windows: Tuple[Tuple[str, float, float], ...] = ()
 
     @property
     def throughput(self) -> float:
@@ -219,6 +242,7 @@ class MDBSSimulator:
         scheme_factory: Optional[Callable[[], ConservativeScheme]] = None,
         atomic_commit: bool = False,
         tracer=None,
+        replica_map: Optional[ReplicaMap] = None,
     ) -> None:
         self.sites = dict(sites)
         self.scheme = scheme
@@ -306,6 +330,11 @@ class MDBSSimulator:
                     fate=fate,
                     on_yes_vote=self._on_yes_vote,
                     tracer=tracer,
+                    site_up=(
+                        lambda d=db: site_up(
+                            d, self.injector, self.loop.now
+                        )
+                    ),
                 )
             for participant in self.participants.values():
                 participant.peers = self.participants
@@ -315,6 +344,42 @@ class MDBSSimulator:
         self.commit_latencies: List[float] = []
         #: indexes of crash_after_prepare entries already fired
         self._prepare_crashes_fired: Set[int] = set()
+        # --- available-copies replication (repro.replication) ---
+        #: item → copies; None = the paper's single-copy model, every
+        #: replication path skipped and runs byte-identical to before
+        self.replica_map = replica_map
+        self.replication = (
+            ReplicationStats() if replica_map is not None else None
+        )
+        self.catchup = (
+            CatchupTracker(
+                replica_map, lambda: self.loop.now, self.replication
+            )
+            if replica_map is not None
+            else None
+        )
+        #: logical (site-free) programs, re-routed at every incarnation
+        self._logical_programs: Dict[str, LogicalProgram] = {}
+        #: per-item rotation counters for read-one routing (deterministic
+        #: — the workload RNG is never consulted)
+        self._route_rotation: Dict[str, int] = {}
+        #: read-only snapshot transactions (kept out of _programs so
+        #: exactly-once/atomicity checks see only read-write globals)
+        self.snapshot_committed: List[str] = []
+        self.snapshot_failed: List[str] = []
+        self.snapshot_read_times: List[float] = []
+        #: per-site counts of executed global writes of replicated items
+        #: (drives FaultPlan.crash_after_writes)
+        self._replicated_writes: Dict[str, int] = {}
+        self._write_crashes_fired: Set[int] = set()
+        if replica_map is not None:
+            for site, db in self.sites.items():
+                db.clock = lambda: self.loop.now
+                db.commit_listeners.append(
+                    lambda txn, items, at, s=site: self.catchup.on_commit(
+                        s, items
+                    )
+                )
         # learn about local aborts of our subtransactions even when they
         # had no operation in flight at the aborting site (e.g. wounded
         # as an active lock holder under wound-wait)
@@ -344,6 +409,187 @@ class MDBSSimulator:
 
     def submit_local(self, program: LocalProgram, at: float = 0.0) -> None:
         self.loop.schedule_at(at, lambda: self._run_local(program, 0))
+
+    def submit_logical(self, program: LogicalProgram, at: float = 0.0) -> None:
+        """Admit a site-free global transaction (requires a replica map).
+
+        Read-write programs are routed by the available-copies rule at
+        every incarnation start (writes to all up copies, reads to one
+        read-eligible copy) and then run through the normal GTM path.
+        Read-only programs never touch the GTM: they execute against the
+        committed multiversion snapshot as of their start time."""
+        if self.replica_map is None:
+            raise ProtocolViolation(
+                "submit_logical requires a replica map; use submit_global"
+            )
+        logical = program.transaction_id
+        if logical in self._programs or logical in self._logical_programs:
+            raise ProtocolViolation(
+                f"global transaction {logical!r} submitted twice"
+            )
+        self._logical_programs[logical] = program
+        self._restart_count[logical] = 0
+        self._stats[logical] = TransactionStats(submitted_at=at)
+        if program.is_read_only:
+            self.loop.schedule_at(at, lambda: self._run_snapshot(logical))
+            return
+        self.loop.schedule_at(at, lambda: self._start_incarnation(logical))
+
+    # ------------------------------------------------------------------
+    # replica routing (available-copies rule)
+    # ------------------------------------------------------------------
+    def _eligible_read_copies(self, item: str) -> List[str]:
+        """Copies of *item* a read may be routed to right now: up, not
+        quarantined, and past catch-up for this item."""
+        return [
+            site
+            for site in self.replica_map.sites_of(item)
+            if site not in self.quarantined
+            and site_up(self.sites[site], self.injector, self.loop.now)
+            and self.catchup.read_eligible(site, item)
+        ]
+
+    def _route(self, program: LogicalProgram) -> Optional[GlobalProgram]:
+        """Map logical accesses to concrete per-site accesses, or None
+        when some access has no routable copy right now (the caller
+        backs off and retries — re-routing around the outage).
+
+        Writes fan out to every up copy; a copy that is dark at routing
+        time is simply skipped (its catch-up quarantine covers the
+        missed write), but one that dies *after* routing makes the
+        prepare fail and the 2PC vote abort the writer."""
+        accesses: List[Access] = []
+        for access in program.accesses:
+            if access.kind == "w":
+                targets = [
+                    site
+                    for site in self.replica_map.sites_of(access.item)
+                    if site not in self.quarantined
+                    and site_up(
+                        self.sites[site], self.injector, self.loop.now
+                    )
+                ]
+                if not targets:
+                    self.replication.route_retries += 1
+                    return None
+                self.replication.writes_fanout += len(targets)
+                for site in targets:
+                    accesses.append(Access(site, "w", access.item))
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "replica_route",
+                        txn=program.transaction_id,
+                        kind="w",
+                        item=access.item,
+                        targets=sorted(targets),
+                    )
+            else:
+                copy = self._pick_read_copy(
+                    program.transaction_id, access.item
+                )
+                if copy is None:
+                    return None
+                accesses.append(Access(copy, "r", access.item))
+        return GlobalProgram(program.transaction_id, tuple(accesses))
+
+    def _pick_read_copy(self, logical: str, item: str) -> Optional[str]:
+        """One read-eligible copy of *item*, rotating deterministically
+        across calls so load spreads without touching any RNG."""
+        eligible = self._eligible_read_copies(item)
+        if not eligible:
+            if any(
+                not self.catchup.read_eligible(site, item)
+                and site_up(self.sites[site], self.injector, self.loop.now)
+                for site in self.replica_map.sites_of(item)
+            ):
+                # a copy is up but recovering: the available-copies rule
+                # refuses the stale read rather than serve missed writes
+                self.replication.stale_reads_refused += 1
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "replica_route",
+                        txn=logical,
+                        kind="r",
+                        item=item,
+                        cause={
+                            "type": "replica-recovering",
+                            "item": item,
+                            "sites": sorted(
+                                self.catchup.recovering_sites
+                            ),
+                        },
+                    )
+            self.replication.route_retries += 1
+            return None
+        turn = self._route_rotation.get(item, 0)
+        self._route_rotation[item] = turn + 1
+        copy = eligible[turn % len(eligible)]
+        self.replication.reads_routed += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "replica_route", txn=logical, kind="r", item=item, site=copy
+            )
+        return copy
+
+    def _route_failed(self, logical: str) -> None:
+        """No routable copy right now: back off and retry the admission,
+        up to the restart budget (graceful degradation, not a stall)."""
+        self._restart_count[logical] += 1
+        if self._restart_count[logical] <= self.config.max_restarts:
+            self.loop.schedule(
+                self.config.restart_backoff,
+                lambda: self._start_incarnation(logical),
+            )
+        else:
+            self.failed_global.append(logical)
+
+    # ------------------------------------------------------------------
+    # read-only snapshot transactions (never enter the GTM)
+    # ------------------------------------------------------------------
+    def _run_snapshot(self, logical: str, attempt: int = 0) -> None:
+        """Execute a read-only logical program against the committed
+        multiversion snapshot as of now: each read is served by one
+        read-eligible copy via ``get_committed_version_at`` — no GTM
+        admission, no ser-operations, no WAIT, no 2PC."""
+        program = self._logical_programs[logical]
+        snapshot_ts = self.loop.now
+        per_read = (
+            2 * self.config.latencies.message_delay
+            + self.config.latencies.service_time
+        )
+        accesses = list(program.accesses)
+        values: Dict[str, Any] = {}
+
+        def retry() -> None:
+            if attempt < self.config.max_restarts:
+                self.loop.schedule(
+                    self.config.restart_backoff,
+                    lambda: self._run_snapshot(logical, attempt + 1),
+                )
+            else:
+                self.snapshot_failed.append(logical)
+
+        def step(index: int) -> None:
+            if index >= len(accesses):
+                self.snapshot_committed.append(logical)
+                self._stats[logical].committed_at = self.loop.now
+                self.snapshot_read_times.append(
+                    self.loop.now - self._stats[logical].submitted_at
+                )
+                return
+            item = accesses[index].item
+            copy = self._pick_read_copy(logical, item)
+            if copy is None:
+                retry()
+                return
+            version = self.sites[copy].storage.get_committed_version_at(
+                item, snapshot_ts
+            )
+            values[item] = version.value if version is not None else None
+            self.replication.snapshot_reads += 1
+            self.loop.schedule(per_read, lambda: step(index + 1))
+
+        step(0)
 
     # ------------------------------------------------------------------
     # running
@@ -405,6 +651,15 @@ class MDBSSimulator:
                 self.scheme.metrics.wake_retries_skipped
             ),
             events_executed=self.loop.executed,
+            replication=self.replication,
+            snapshot_committed=len(self.snapshot_committed),
+            snapshot_failed=len(self.snapshot_failed),
+            snapshot_read_times=tuple(self.snapshot_read_times),
+            availability_windows=(
+                tuple(self.injector.availability_windows)
+                if self.injector is not None
+                else ()
+            ),
         )
 
     def _watchdog_interval(self) -> float:
@@ -505,8 +760,12 @@ class MDBSSimulator:
         self.injector.stats.site_crashes += 1
         if self.tracer is not None:
             self.tracer.event("site.crash", site=crash.site)
-        self.injector.mark_down(crash.site, self.loop.now + crash.downtime)
+        self.injector.mark_down(
+            crash.site, self.loop.now + crash.downtime, since=self.loop.now
+        )
         db.crash(f"site {crash.site!r} crashed")
+        if self.catchup is not None:
+            self.catchup.on_crash(crash.site)
         if self.atomic_commit:
             # volatile participant state and in-flight control
             # executions die with the site; prepared records survive
@@ -521,7 +780,17 @@ class MDBSSimulator:
     def _restart_site(self, site: str) -> None:
         self.sites[site].restart()
         if self.injector is not None:
-            self.injector.mark_up(site)
+            self.injector.mark_up(site, at=self.loop.now)
+        if self.catchup is not None:
+            # catch-up mode: the site's replicated copies are stale
+            # (reads refused) until a fresh committed write reaches them
+            self.catchup.on_restart(site)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "site.catchup_enter",
+                    site=site,
+                    stale=sorted(self.catchup.stale_items(site)),
+                )
         if self.atomic_commit:
             # recovery inquiry: prepared records found in the durable
             # log immediately run a termination round
@@ -547,7 +816,7 @@ class MDBSSimulator:
         its victims one by one)."""
         grace = self.config.effective_orphan_grace
         for db in self.sites.values():
-            if not db.available:
+            if not site_up(db, self.injector, now):
                 continue
             leftovers = db.active_transactions | db.blocked_transactions
             for transaction_id in sorted(leftovers):
@@ -599,6 +868,16 @@ class MDBSSimulator:
         return committed
 
     def _start_incarnation(self, logical: str) -> None:
+        logical_program = self._logical_programs.get(logical)
+        if logical_program is not None:
+            # replicated admission: (re-)route the logical program by
+            # the available-copies rule — a restart after a site crash
+            # routes around the dead copy instead of stalling behind it
+            routed = self._route(logical_program)
+            if routed is None:
+                self._route_failed(logical)
+                return
+            self._programs[logical] = routed
         program = self._programs[logical]
         committed_sites = self._committed_sites_of(logical)
         if committed_sites:
@@ -765,6 +1044,16 @@ class MDBSSimulator:
             self._committed_sites.setdefault(
                 self._logical(incarnation), set()
             ).add(operation.site)
+        if (
+            self.replica_map is not None
+            and operation.op_type is OpType.WRITE
+            and self.replica_map.is_replicated(operation.item)
+        ):
+            # fault point: crash-between-replica-writes (the window
+            # where a partial fan-out must abort, not commit)
+            count = self._replicated_writes.get(operation.site, 0) + 1
+            self._replicated_writes[operation.site] = count
+            self._on_replicated_write(operation.site, count)
         if planned.is_ticket_read:
             # the value written back is monotone per site; GTM2's
             # one-outstanding-per-site rule makes the release order
@@ -947,7 +1236,7 @@ class MDBSSimulator:
         )
 
         def deliver() -> None:
-            if not db.available:
+            if not site_up(db, self.injector, self.loop.now):
                 return  # the crash wiped it; recovery inquiry covers us
             participant.on_decide(incarnation, False, lambda ok: None)
 
@@ -973,6 +1262,24 @@ class MDBSSimulator:
                 continue
             if crash.site == site and crash.after_prepares == count:
                 self._prepare_crashes_fired.add(index)
+                self.loop.schedule(
+                    0.0,
+                    lambda s=site, d=crash.downtime: self._crash_site(
+                        SiteCrash(site=s, at=self.loop.now, downtime=d)
+                    ),
+                )
+
+    def _on_replicated_write(self, site: str, count: int) -> None:
+        """Fault point: ``FaultPlan.crash_after_writes`` schedules site
+        crashes keyed to replicated-write progress — the site goes dark
+        between the replica writes of one fanned-out logical write."""
+        if self.injector is None:
+            return
+        for index, crash in enumerate(self.injector.plan.crash_after_writes):
+            if index in self._write_crashes_fired:
+                continue
+            if crash.site == site and crash.after_writes == count:
+                self._write_crashes_fired.add(index)
                 self.loop.schedule(
                     0.0,
                     lambda s=site, d=crash.downtime: self._crash_site(
@@ -1065,6 +1372,21 @@ class MDBSSimulator:
                 for logical, program in self._programs.items()
             },
             reported_failed=self.failed_global,
+        )
+
+    def replicas_report(self):
+        """One-copy-serializability evidence over replicated items (see
+        :func:`repro.mdbs.verification.check_replicas`); requires a
+        replica map."""
+        from repro.mdbs.verification import check_replicas
+
+        if self.replica_map is None:
+            raise ProtocolViolation(
+                "replicas_report requires a replica map"
+            )
+        return check_replicas(
+            {site: db.storage for site, db in self.sites.items()},
+            self.replica_map,
         )
 
     def atomicity_report(self):

@@ -326,6 +326,87 @@ def check_atomicity(
     )
 
 
+@dataclass
+class ReplicaConsistencyReport:
+    """One-copy-serializability evidence over replicated items.
+
+    Under the available-copies rule each copy of a replicated item may
+    legitimately miss writes (it was down), but the writes it *did*
+    apply must agree with every sibling copy on the relative order of
+    their common committed writers — the replicated copies then collapse
+    to one logical item in any witness serial order.  Built from the
+    committed version chains (the actual install order at each store):
+    storage publishes commits in the site's write order, not 2PC
+    decide-arrival order, so the chain *is* the local ww conflict order
+    over that item."""
+
+    #: (item, site_a, site_b, writer_x, writer_y): site_a installed
+    #: writer_x before writer_y, site_b the other way around
+    divergent: Tuple[Tuple[str, str, str, str, str], ...]
+    items_checked: int
+    copies_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergent
+
+
+def _installed_writer_sequence(store, item: str) -> List[str]:
+    """Logical ids of *item*'s committed writers at one store, in
+    version-chain (install) order.  The initial version has no writer
+    and is skipped."""
+    return [
+        _logical(version.writer)
+        for version in store.versions_of(item)
+        if version.writer is not None
+    ]
+
+
+def check_replicas(stores, replica_map) -> ReplicaConsistencyReport:
+    """Pairwise common-writer order agreement across the copies of every
+    replicated item in *replica_map* (a
+    :class:`repro.replication.ReplicaMap`).  *stores* maps site id to
+    that site's :class:`repro.lmdbs.storage.VersionedStore` (anything
+    with ``versions_of``); the committed version chains are the install
+    order being compared."""
+    divergent: List[Tuple[str, str, str, str, str]] = []
+    items_checked = 0
+    copies_checked = 0
+    for item in replica_map.items:
+        copies = replica_map.sites_of(item)
+        if len(copies) < 2:
+            continue
+        items_checked += 1
+        sequences: Dict[str, List[str]] = {}
+        for site in copies:
+            store = stores.get(site)
+            if store is None:
+                continue
+            copies_checked += 1
+            sequences[site] = _installed_writer_sequence(store, item)
+        sites = sorted(sequences)
+        for i, site_a in enumerate(sites):
+            rank_a = {txn: n for n, txn in enumerate(sequences[site_a])}
+            for site_b in sites[i + 1:]:
+                rank_b = {
+                    txn: n for n, txn in enumerate(sequences[site_b])
+                }
+                common = sorted(
+                    set(rank_a) & set(rank_b), key=lambda t: rank_a[t]
+                )
+                for x_index, writer_x in enumerate(common):
+                    for writer_y in common[x_index + 1:]:
+                        if rank_b[writer_x] > rank_b[writer_y]:
+                            divergent.append(
+                                (item, site_a, site_b, writer_x, writer_y)
+                            )
+    return ReplicaConsistencyReport(
+        divergent=tuple(divergent),
+        items_checked=items_checked,
+        copies_checked=copies_checked,
+    )
+
+
 def serialization_order_consistent(
     global_schedule: GlobalSchedule, ser_schedule: SerSchedule
 ) -> bool:

@@ -29,7 +29,11 @@ backend).
 """
 
 from repro.observability.explain import explain_transaction, format_cause
-from repro.observability.export import report_to_registry, scheme_metrics_to_registry
+from repro.observability.export import (
+    replication_stats_to_registry,
+    report_to_registry,
+    scheme_metrics_to_registry,
+)
 from repro.observability.registry import (
     Counter,
     Gauge,
@@ -50,6 +54,7 @@ __all__ = [
     "format_cause",
     "parse_prometheus",
     "replay_check",
+    "replication_stats_to_registry",
     "report_to_registry",
     "scheme_metrics_to_registry",
     "spans_from_jsonl",

@@ -57,6 +57,13 @@ def format_cause(cause: Optional[Mapping[str, Any]]) -> str:
             f"fin held back by delete queue at {site}: "
             f"{blocking} must finish first"
         )
+    if kind == "replica-recovering":
+        sites = cause.get("sites")
+        where = ", ".join(sites) if sites else "?"
+        return (
+            f"read refused: site recovering, no fresh write "
+            f"(item {cause.get('item')} stale at {where})"
+        )
     parts = ", ".join(f"{key}={value!r}" for key, value in sorted(cause.items()))
     return f"blocked ({parts})"
 
@@ -74,6 +81,18 @@ _EVENT_LINES = {
     "commit.inquiry": "recovery inquiry from {site} answered {answer}",
     "commit.recovery_inquiry": "site {site} restarted in-doubt, inquiring",
 }
+
+
+def _replica_route_line(span: Span) -> str:
+    attrs = span.attrs
+    if attrs.get("kind") == "w":
+        return (
+            f"write of {attrs.get('item')} fanned out to "
+            f"{attrs.get('targets')}"
+        )
+    if span.cause is not None:
+        return format_cause(span.cause)
+    return f"read of {attrs.get('item')} routed to {span.site}"
 
 
 def _fmt_time(value: float) -> str:
@@ -102,6 +121,8 @@ def _line_for(span: Span) -> Optional[str]:
         if waited is not None:
             line += f" (waited {waited} steps)"
         return line + f"; GRANT at t={_fmt_time(span.end)}"
+    if name == "replica_route":
+        return _replica_route_line(span)
     template = _EVENT_LINES.get(name)
     if template is None:
         detail = ""

@@ -86,6 +86,20 @@ def commit_stats_to_registry(
     return out
 
 
+def replication_stats_to_registry(
+    stats: Any, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Publish a ``ReplicationStats`` under ``replication.*`` plus the
+    ``recovery.catchup_ms`` catch-up-latency histogram."""
+    out = registry if registry is not None else MetricsRegistry()
+    for name, value in stats.as_rows():
+        out.counter(f"replication.{name}").inc(value)
+    catchup = out.histogram("recovery.catchup_ms", TIME_BUCKETS)
+    for value in stats.catchup_ms:
+        catchup.observe(value)
+    return out
+
+
 def report_to_registry(
     report: Any,
     registry: Optional[MetricsRegistry] = None,
@@ -130,6 +144,17 @@ def report_to_registry(
         latency = out.histogram("commit.latency_ms", TIME_BUCKETS)
         for value in report.commit_latencies:
             latency.observe(value)
+    if getattr(report, "replication", None) is not None:
+        replication_stats_to_registry(report.replication, out)
+        out.counter("replication.snapshot_committed").inc(
+            report.snapshot_committed
+        )
+        out.counter("replication.snapshot_failed").inc(
+            report.snapshot_failed
+        )
+        snap = out.histogram("replication.snapshot_time", TIME_BUCKETS)
+        for value in report.snapshot_read_times:
+            snap.observe(value)
     if scheme:
         out.counter(f"{scheme}.runs").inc()
     return out

@@ -1,0 +1,45 @@
+"""Available-copies replication over the MDBS (ROADMAP open item 1).
+
+The paper's model places every data item at exactly one site, so one
+site crash stalls every global transaction touching it until restart.
+This package adds RepCRec-style *partial* replication (Sutra & Shapiro:
+not every site holds every item) on top of the existing fault injector
+and 2PC layer:
+
+- :mod:`repro.replication.map` — the :class:`ReplicaMap` (item → set of
+  sites, configurable replication degree) the GTM routes by, and
+  :class:`LogicalProgram`, a global transaction declared over *logical*
+  items whose concrete per-site accesses the GTM chooses at admission;
+- :mod:`repro.replication.recovery` — the :class:`CatchupTracker`
+  available-copies state machine (up / down / recovering /
+  read-eligible): a recovered site serves reads of a replicated item
+  only after a fresh committed write reaches it;
+- :mod:`repro.replication.model` — :class:`ReplicationStats`, what the
+  replication layer actually did during one run.
+
+The available-copies rule as implemented by the simulator: writes go to
+every up site holding the item, reads to any one read-eligible site,
+and a write aborts (via the 2PC vote logic) when a target site is down
+at prepare time.  Read-only global transactions run against a committed
+multiversion snapshot (``get_committed_version_at``) and never enter
+the GTM wait machinery.
+"""
+
+from repro.replication.map import (
+    LogicalAccess,
+    LogicalProgram,
+    ReplicaMap,
+    ReplicationError,
+)
+from repro.replication.model import ReplicationStats
+from repro.replication.recovery import CatchupTracker, SiteState
+
+__all__ = [
+    "CatchupTracker",
+    "LogicalAccess",
+    "LogicalProgram",
+    "ReplicaMap",
+    "ReplicationError",
+    "ReplicationStats",
+    "SiteState",
+]

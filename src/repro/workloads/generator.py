@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.gtm import GlobalProgram
+from repro.replication.map import LogicalProgram
 from repro.workloads.distributions import UniformItems, ZipfItems, make_items
 
 
@@ -103,6 +104,43 @@ class WorkloadGenerator:
 
     def global_batch(self, count: int) -> List[GlobalProgram]:
         return [self.global_program() for _ in range(count)]
+
+    def logical_program(
+        self, items: Sequence[str], read_only: bool = False
+    ) -> LogicalProgram:
+        """Generate the next global transaction over *logical* (site-free,
+        possibly replicated) items — the GTM routes the concrete per-site
+        accesses at admission (:mod:`repro.replication`)."""
+        self._global_counter += 1
+        transaction_id = f"G{self._global_counter}"
+        pool = list(items)
+        operations = self.config.ops_per_site * self._site_count()
+        accesses: List[Tuple[str, str]] = []
+        for _ in range(operations):
+            kind = (
+                "r"
+                if read_only
+                or self.rng.random() < self.config.read_fraction
+                else "w"
+            )
+            accesses.append((kind, self.rng.choice(pool)))
+        return LogicalProgram.build(transaction_id, accesses)
+
+    def logical_batch(
+        self,
+        count: int,
+        items: Sequence[str],
+        ro_fraction: float = 0.0,
+    ) -> List[LogicalProgram]:
+        """*count* logical programs; ``ro_fraction`` of them are forced
+        read-only (the snapshot-read population)."""
+        programs: List[LogicalProgram] = []
+        for _ in range(count):
+            read_only = (
+                self.rng.random() < ro_fraction if ro_fraction > 0 else False
+            )
+            programs.append(self.logical_program(items, read_only=read_only))
+        return programs
 
     def local_program(self, site: Optional[str] = None) -> LocalProgram:
         """Generate the next local transaction (defaults to a random

@@ -31,6 +31,7 @@ from repro.core import make_scheme
 from repro.core.recovery import Journal
 from repro.faults import (
     FaultConfigError,
+    FaultInjector,
     FaultPlan,
     PrepareCrash,
     SiteCrash,
@@ -390,3 +391,128 @@ class TestAtomicRuns:
         assert off.ok, off.failure_reasons()
         # informational partials never fail a non-2PC run
         assert off.atomicity.ok
+
+
+# ---------------------------------------------------------------------------
+# 2PC x replication: restart while prepared on a replicated item
+# ---------------------------------------------------------------------------
+class TestReplicatedPreparedRestart:
+    def build(self, downtime=60.0):
+        """One replicated item at all 3 sites, one writer, and a crash
+        of ``s0`` keyed to its YES vote (the in-doubt window)."""
+        from repro.replication import LogicalProgram, ReplicaMap
+
+        plan = FaultPlan(
+            seed=0,
+            crash_after_prepare=(
+                PrepareCrash("s0", after_prepares=1, downtime=downtime),
+            ),
+        )
+        workload = WorkloadConfig(sites=3, seed=0)
+        replica_map = ReplicaMap.build(["x0"], workload.site_names, 3)
+        protocols = ["strict-2pl", "to", "sgt"]
+        sites = {
+            name: LocalDBMS(
+                name, make_protocol(protocols[index]), initial={"x0": 0}
+            )
+            for index, name in enumerate(workload.site_names)
+        }
+        simulator = MDBSSimulator(
+            sites,
+            make_scheme("scheme2"),
+            SimulationConfig(horizon=50_000.0),
+            seed=0,
+            injector=FaultInjector(plan),
+            scheme_factory=lambda: make_scheme("scheme2"),
+            atomic_commit=True,
+            replica_map=replica_map,
+        )
+        simulator.submit_logical(
+            LogicalProgram.build("G1", [("w", "x0")]), at=0.0
+        )
+        return simulator
+
+    def instrument(self, simulator):
+        """Record the catch-up transitions of s0 with the exact
+        eligibility picture at each instant."""
+        events = []
+        catchup = simulator.catchup
+        original_restart = catchup.on_restart
+        original_commit = catchup.on_commit
+
+        def on_restart(site):
+            original_restart(site)
+            if site == "s0":
+                events.append(
+                    (
+                        "restart",
+                        simulator.loop.now,
+                        catchup.read_eligible("s0", "x0"),
+                    )
+                )
+
+        def on_commit(site, items):
+            before = catchup.read_eligible("s0", "x0")
+            original_commit(site, items)
+            if site == "s0" and "x0" in items:
+                events.append(
+                    (
+                        "commit",
+                        simulator.loop.now,
+                        before,
+                        catchup.read_eligible("s0", "x0"),
+                    )
+                )
+
+        catchup.on_restart = on_restart
+        catchup.on_commit = on_commit
+        return events
+
+    def test_restart_while_prepared_recovers_then_serves_reads(self):
+        """The full in-doubt catch-up chain: s0 crashes right after its
+        YES vote, restarts stale, resolves the prepared transaction via
+        2PC termination, and only that decided COMMIT (a fresh committed
+        write) makes the copy read-eligible again."""
+        simulator = self.build()
+        events = self.instrument(simulator)
+        report = simulator.run()
+        # the crash actually hit the prepared window
+        assert report.commit_stats.votes_yes >= 3
+        assert report.site_crashes == 1
+        # the writer still committed at every copy (no partial commit)
+        assert simulator.committed_global == ["G1"]
+        assert simulator.atomicity_report().ok
+        assert simulator.replicas_report().ok
+        for site in ("s0", "s1", "s2"):
+            assert simulator.sites[site].storage.committed_value("x0") != 0
+        # ordering: restart found the copy stale; the 2PC-resolved
+        # commit then refreshed it — never the other way around
+        kinds = [event[0] for event in events]
+        assert kinds == ["restart", "commit"]
+        restart_event, commit_event = events
+        assert restart_event[2] is False  # stale at restart
+        assert commit_event[1] > restart_event[1]
+        assert commit_event[2] is False  # still stale just before
+        assert commit_event[3] is True  # fresh write => eligible
+        # the catch-up latency was measured
+        assert report.replication.catchup_ms
+        # and the copy stays eligible at end of run
+        assert simulator.catchup.read_eligible("s0", "x0")
+
+    def test_reads_route_around_the_in_doubt_copy(self):
+        """While s0 is dark/recovering, snapshot readers are served by
+        the surviving copies — no reader ever blocks on the in-doubt
+        site."""
+        from repro.replication import LogicalProgram
+
+        simulator = self.build(downtime=200.0)
+        for index in range(3):
+            simulator.submit_logical(
+                LogicalProgram.build(f"R{index + 1}", [("r", "x0")]),
+                at=40.0 + index * 20.0,
+            )
+        report = simulator.run()
+        assert report.snapshot_committed == 3
+        assert report.snapshot_failed == 0
+        assert report.scheme_waits == 0  # snapshot reads never WAIT
+        assert simulator.atomicity_report().ok

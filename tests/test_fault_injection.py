@@ -463,3 +463,114 @@ class TestExactlyOnceChecker:
         )
         assert report.ok
         assert report.partial_commits == ("G2",)
+
+
+# ---------------------------------------------------------------------------
+# site_up: the one availability predicate (ISSUE: replication satellites)
+# ---------------------------------------------------------------------------
+class TestSiteUp:
+    def test_consults_both_the_db_flag_and_the_injector(self):
+        from repro.faults import SiteCrash, site_up
+
+        db = LocalDBMS("s0", make_protocol("strict-2pl"))
+        assert site_up(db)
+        assert site_up(db, None, 0.0)
+        db.available = False
+        assert not site_up(db)
+        db.available = True
+        injector = FaultInjector(
+            FaultPlan(seed=0, site_crashes=(SiteCrash("s0", at=10.0, downtime=5.0),))
+        )
+        injector.mark_down("s0", until=15.0, since=10.0)
+        assert not site_up(db, injector, now=12.0)
+        assert site_up(db, injector, now=15.0)
+        # a different site's darkness never shadows this one
+        other = LocalDBMS("s1", make_protocol("to"))
+        assert site_up(other, injector, now=12.0)
+
+    def test_availability_windows_close_on_restart(self):
+        injector = FaultInjector(FaultPlan.quiet(0))
+        injector.mark_down("s0", until=30.0, since=10.0)
+        assert injector.availability_windows == []
+        injector.mark_up("s0", at=30.0)
+        assert injector.availability_windows == [("s0", 10.0, 30.0)]
+        assert injector.windows_of("s0") == ((10.0, 30.0),)
+        # a second outage appends, never overwrites
+        injector.mark_down("s0", until=80.0, since=60.0)
+        injector.mark_up("s0", at=80.0)
+        assert injector.windows_of("s0") == ((10.0, 30.0), (60.0, 80.0))
+
+
+class TestWriteCrashPlans:
+    def test_write_crash_validates(self):
+        from repro.faults import WriteCrash
+
+        with pytest.raises(FaultConfigError):
+            WriteCrash("s0", after_writes=0).validate()
+        with pytest.raises(FaultConfigError):
+            WriteCrash("s0", downtime=-1.0).validate()
+        WriteCrash("s0", after_writes=2).validate()
+
+    def test_from_mapping_builds_write_crashes(self):
+        from repro.faults import WriteCrash
+
+        plan = FaultPlan.from_mapping(
+            {
+                "seed": 5,
+                "crash_after_writes": [
+                    {"site": "s2", "after_writes": 3, "downtime": 12.0}
+                ],
+            }
+        )
+        assert plan.crash_after_writes == (
+            WriteCrash(site="s2", after_writes=3, downtime=12.0),
+        )
+        assert not plan.is_quiet
+
+    def test_write_crash_fires_on_the_nth_replicated_write(self):
+        """A crash keyed to replicated-write progress takes the site
+        down right after its n-th global write of a replicated item —
+        and the run still verifies end-to-end."""
+        from repro.faults import WriteCrash
+        from repro.replication import LogicalProgram, ReplicaMap
+
+        plan = FaultPlan(
+            seed=0,
+            crash_after_writes=(
+                WriteCrash("s1", after_writes=1, downtime=30.0),
+            ),
+        )
+        replica_map = ReplicaMap.build(["x0"], ("s0", "s1", "s2"), 3)
+        protocols = ["strict-2pl", "to", "sgt"]
+        sites = {
+            name: LocalDBMS(
+                name, make_protocol(protocols[index]), initial={"x0": 0}
+            )
+            for index, name in enumerate(("s0", "s1", "s2"))
+        }
+        simulator = MDBSSimulator(
+            sites,
+            make_scheme("scheme2"),
+            SimulationConfig(horizon=50_000.0),
+            seed=0,
+            injector=FaultInjector(plan),
+            scheme_factory=lambda: make_scheme("scheme2"),
+            atomic_commit=True,
+            replica_map=replica_map,
+        )
+        for index in range(2):
+            simulator.submit_logical(
+                LogicalProgram.build(f"G{index + 1}", [("w", "x0")]),
+                at=index * 10.0,
+            )
+        report = simulator.run()
+        # the crash fired (keyed to progress, not wall clock)
+        assert report.site_crashes == 1
+        assert [w[0] for w in report.availability_windows] == ["s1"]
+        # and atomicity survived the mid-fan-out outage
+        assert simulator.atomicity_report().ok
+        assert simulator.replicas_report().ok
+        resolved = set(simulator.committed_global) | set(
+            simulator.failed_global
+        )
+        assert resolved == {"G1", "G2"}
