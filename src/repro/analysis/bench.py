@@ -1,9 +1,9 @@
 """The perf-trajectory bench harness (``repro bench``).
 
-Runs the E4 throughput grid (and optionally the E11 atomic-commit
-variant) as independent *cells* — one per (experiment, scheme, mpl,
-seed) — and persists the results as a ``BENCH_<n>.json`` trajectory
-file.  Each cell is seed-deterministic and self-contained, so the grid
+Runs the E4 throughput grid (and optionally the E11 atomic-commit or
+E13 commit-group variants) as independent *cells* — one per
+(experiment, scheme, mpl, seed) — and persists the results as a
+``BENCH_<n>.json`` trajectory file.  Each cell is seed-deterministic and self-contained, so the grid
 can be fanned across ``multiprocessing`` workers and merged back in
 fixed task order: the parallel run emits byte-identical results to the
 serial one (asserted by tests/test_bench_runner.py).
@@ -72,6 +72,8 @@ def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
         started = time.perf_counter()
         if spec["experiment"] == "E11":
             report = _run_e11_cell(spec)
+        elif spec["experiment"] == "E13":
+            report = _run_e13_cell(spec)
         else:
             report = _run_e4_cell(spec)
         wall_s = time.perf_counter() - started
@@ -92,6 +94,7 @@ def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
         graph_ops=report.graph_ops,
         dfs_steps_avoided=report.dfs_steps_avoided,
         wake_retries_skipped=report.wake_retries_skipped,
+        indoubt_max=max(report.in_doubt_times or (0.0,)),
     )
     return result
 
@@ -148,6 +151,41 @@ def _run_e11_cell(spec: Dict[str, Any]):
     if not result.ok:
         raise RuntimeError(
             f"E11 cell {spec!r} failed: {result.failure_reasons()}"
+        )
+    return result.report
+
+
+def _run_e13_cell(spec: Dict[str, Any]):
+    """One E13 commit-group cell: the acceptance scenario — a
+    coordinator(-replica) crash lands between the YES votes and the
+    decision broadcast — head-to-head across commit-group sizes.
+    ``mpl`` is reused as the group size (cf. E11's fixed workload):
+    size 1 is the blocking single-coordinator baseline whose in-doubt
+    window runs until the replica restarts; size 3 terminates through
+    the surviving quorum in about one round-trip.  ``indoubt_max`` in
+    the emitted cell is the head-to-head number."""
+    from repro.faults.chaos import ChaosOptions, run_chaos
+
+    options = ChaosOptions(
+        scheme=spec["scheme"],
+        atomic_commit=True,
+        # isolate the decision-log faults: message faults and site/GTM
+        # crashes inflate in-doubt windows identically for every group
+        # size and would drown the head-to-head signal
+        loss_rate=0.0,
+        duplication_rate=0.0,
+        delay_rate=0.0,
+        gtm_crash_count=0,
+        site_crash_count=0,
+        commit_group_size=spec["mpl"],
+        coordinator_crash_count=1,
+        vote_decide_partition_count=1,
+        downtime=300.0,
+    )
+    result = run_chaos(options, spec["seed"])
+    if not result.ok:
+        raise RuntimeError(
+            f"E13 cell {spec!r} failed: {result.failure_reasons()}"
         )
     return result.report
 

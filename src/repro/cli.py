@@ -22,8 +22,9 @@ Commands
     histories.
 
 ``bench``
-    Run the perf-trajectory grid (E4 throughput / E11 atomic-commit
-    cells) across worker processes, emit a ``BENCH_<n>.json`` file, and
+    Run the perf-trajectory grid (E4 throughput / E11 atomic-commit /
+    E13 commit-group cells) across worker processes, emit a
+    ``BENCH_<n>.json`` file, and
     optionally fail if throughput regressed against a committed
     baseline (see docs/performance.md).
 
@@ -238,6 +239,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 replicated_items=args.replicated_items,
                 ro_fraction=args.ro_fraction,
                 write_crash_count=args.write_crashes,
+                commit_group_size=args.commit_group_size,
+                coordinator_crash_count=args.coordinator_crashes,
+                vote_decide_partition_count=args.vote_decide_partitions,
             )
             result = run_chaos(options, seed)
             if registry is not None:
@@ -556,6 +560,29 @@ def build_parser() -> argparse.ArgumentParser:
         "(served from the committed multiversion snapshot)",
     )
     chaos_parser.add_argument(
+        "--commit-group-size",
+        type=int,
+        default=0,
+        help="replicate the commit decision log over this many "
+        "coordinator replicas (2f+1; 3 = non-blocking termination); "
+        "0 keeps the single-coordinator journal; needs --atomic-commit",
+    )
+    chaos_parser.add_argument(
+        "--coordinator-crashes",
+        type=int,
+        default=0,
+        help="coordinator-replica crashes keyed to vote-log progress "
+        "(replica down right after its n-th vote record); needs "
+        "--commit-group-size >= 1",
+    )
+    chaos_parser.add_argument(
+        "--vote-decide-partitions",
+        type=int,
+        default=0,
+        help="partitions between vote and decision (acting leader + GTM "
+        "on the minority side); needs --commit-group-size >= 1",
+    )
+    chaos_parser.add_argument(
         "--write-crashes",
         type=int,
         default=0,
@@ -573,11 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = sub.add_parser(
         "bench",
-        help="run the perf-trajectory bench grid (E4/E11 cells across "
-        "worker processes) and optionally gate on a baseline",
+        help="run the perf-trajectory bench grid (E4/E11/E13 cells "
+        "across worker processes) and optionally gate on a baseline",
     )
     bench_parser.add_argument(
-        "--experiment", choices=["E4", "E11"], default="E4"
+        "--experiment", choices=["E4", "E11", "E13"], default="E4"
     )
     bench_parser.add_argument(
         "--schemes",

@@ -6,30 +6,46 @@ commit at some sites and not others ("the atomicity caveat").  With
 ``atomic_commit=True`` the simulator runs presumed-abort 2PC:
 
 - :mod:`repro.commit.coordinator` — the GTM-side PREPARE/VOTE/DECIDE
-  state machine; COMMIT decisions are force-logged to the GTM2
-  :class:`~repro.core.recovery.Journal` and replayed after crashes,
-  aborts are presumed from absence;
+  state machine over a pluggable decision log: COMMIT decisions are
+  made durable (journal force-write, or quorum consensus) before any
+  participant is told, aborts are presumed from absence;
 - :mod:`repro.commit.participant` — the site-side role: durable
   prepared records in the :class:`~repro.lmdbs.history.HistoryLog`,
   unilateral abort before the YES vote, in-doubt blocking after it,
   and a cooperative termination protocol (peer + coordinator
   inquiries) with a recovery inquiry on restart;
+- :mod:`repro.commit.group` — the non-blocking variant: a
+  :class:`CoordinatorGroup` of ``2f+1`` replicas with quorum-logged
+  votes and a single-decree consensus per decision, so any surviving
+  replica terminates an in-doubt participant (multi-shot commit);
 - :mod:`repro.commit.model` — :class:`CommitPolicy` (in-doubt window,
   inquiry backoff) and :class:`CommitStats`.
 
 ``docs/fault_model.md`` specifies the protocol; ``check_atomicity``
 (:mod:`repro.mdbs.verification`) upgrades partial commits to a hard
-violation whenever this layer is enabled.
+violation whenever this layer is enabled, and
+``check_decision_uniqueness`` audits the replicas' decision logs.
 """
 
-from repro.commit.coordinator import TwoPhaseCoordinator
+from repro.commit.coordinator import JournalDecisionLog, TwoPhaseCoordinator
+from repro.commit.group import (
+    CommitGroupStats,
+    CoordinatorGroup,
+    CoordinatorReplica,
+    QuorumDecisionLog,
+)
 from repro.commit.model import CommitPolicy, CommitProtocolError, CommitStats
 from repro.commit.participant import CommitParticipant
 
 __all__ = [
+    "CommitGroupStats",
     "CommitParticipant",
     "CommitPolicy",
     "CommitProtocolError",
     "CommitStats",
+    "CoordinatorGroup",
+    "CoordinatorReplica",
+    "JournalDecisionLog",
+    "QuorumDecisionLog",
     "TwoPhaseCoordinator",
 ]

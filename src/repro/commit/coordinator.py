@@ -3,9 +3,9 @@
 State machine per global transaction (one incarnation at a time):
 
 ``voting`` → (all YES) → ``committed`` — the only transition that writes
-to stable storage: the COMMIT decision is force-logged to the
-:class:`~repro.core.recovery.Journal` *before* any participant is told,
-so a GTM2 crash can never forget a commit a participant already applied.
+to stable storage: the COMMIT decision is made durable *before* any
+participant is told, so a GTM2 crash can never forget a commit a
+participant already applied.
 
 ``voting`` → (any NO / timeout / local abort) → ``aborted`` — nothing is
 logged.  Forgetting *is* the abort decision: any inquiry about a
@@ -13,8 +13,21 @@ transaction with no commit record and no open voting round is answered
 ABORT (the "presumed abort" rule), which is exactly why abort decisions
 need neither log writes nor acknowledgements.
 
+Where "durable" lives is pluggable (:class:`DecisionLogBackend`):
+
+- :class:`JournalDecisionLog` — the PR 2 behaviour: a force-write to the
+  local :class:`~repro.core.recovery.Journal`, synchronously durable,
+  blocking every in-doubt participant if the GTM is down;
+- :class:`~repro.commit.group.QuorumDecisionLog` — the decision is one
+  consensus instance over a replicated coordinator group; durability
+  arrives asynchronously (a quorum round-trip later), and — because a
+  surviving replica may have terminated the transaction first — the
+  chosen value can *differ* from the GTM's verdict.  ``decide_commit`` /
+  ``decide_abort`` therefore report the chosen value through
+  ``on_durable`` and the caller acts on that, not on its own proposal.
+
 After a GTM2 crash, :meth:`TwoPhaseCoordinator.recover` rebuilds the
-decided-commit set from the journal's decision records; the caller
+decided-commit set from the backend's decision records; the caller
 (GTM1, whose bookkeeping survives — see ``docs/fault_model.md``)
 re-opens the voting rounds of its still-live incarnations so in-doubt
 inquiries made *during* an open round are answered "undecided" rather
@@ -23,17 +36,51 @@ than prematurely presumed aborted.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Callable, Optional, Set
 
 from repro.commit.model import CommitStats
 
 
-class TwoPhaseCoordinator:
-    """Presumed-abort commit coordinator over a durable journal.
+class JournalDecisionLog:
+    """The single-coordinator backend: decisions are force-logged to a
+    local journal and durable the moment the call returns.
 
     ``journal`` is a :class:`repro.core.recovery.Journal` (or anything
     with ``log_decision``/``commit_decisions``); None means decisions
     are volatile — acceptable only when GTM crashes are not injected.
+    """
+
+    def __init__(self, journal=None) -> None:
+        self.journal = journal
+
+    def log_commit(
+        self, incarnation: str, on_durable: Callable[[bool], None]
+    ) -> None:
+        if self.journal is not None:
+            self.journal.log_decision(incarnation)
+        on_durable(True)
+
+    def log_abort(
+        self, incarnation: str, on_durable: Callable[[bool], None]
+    ) -> None:
+        # presumed abort: nothing written, immediately "durable"
+        on_durable(False)
+
+    def commit_decisions(self):
+        if self.journal is None:
+            return ()
+        return self.journal.commit_decisions()
+
+    def outcome(self, incarnation: str) -> Optional[bool]:
+        # the journal records commits only; absence is not knowledge
+        return None
+
+
+class TwoPhaseCoordinator:
+    """Presumed-abort commit coordinator over a durable decision log.
+
+    ``decision_log`` defaults to :class:`JournalDecisionLog` over
+    ``journal`` — exactly the PR 2 single-coordinator behaviour.
     """
 
     def __init__(
@@ -41,15 +88,19 @@ class TwoPhaseCoordinator:
         journal=None,
         stats: Optional[CommitStats] = None,
         tracer=None,
+        decision_log=None,
     ) -> None:
         self.journal = journal
+        self.decision_log = (
+            decision_log
+            if decision_log is not None
+            else JournalDecisionLog(journal)
+        )
         self.stats = stats or CommitStats()
         #: optional :class:`repro.observability.Tracer` for decision /
         #: inquiry spans; never consulted for protocol behaviour
         self.tracer = tracer
-        self._commits: Set[str] = (
-            set(journal.commit_decisions()) if journal is not None else set()
-        )
+        self._commits: Set[str] = set(self.decision_log.commit_decisions())
         #: incarnations with an open voting round: inquiries about them
         #: are answered "undecided" instead of presumed-abort
         self._voting: Set[str] = set()
@@ -60,15 +111,9 @@ class TwoPhaseCoordinator:
     def begin_voting(self, incarnation: str) -> None:
         self._voting.add(incarnation)
 
-    def decide_commit(self, incarnation: str) -> None:
-        """All participants voted YES: force-log, then remember.  The
-        log write precedes every outgoing COMMIT message — the
-        presumed-abort invariant that makes recovery sound."""
-        self._voting.discard(incarnation)
+    def _record_commit(self, incarnation: str) -> None:
         if incarnation in self._commits:
             return
-        if self.journal is not None:
-            self.journal.log_decision(incarnation)
         self._commits.add(incarnation)
         self.stats.commit_decisions += 1
         if self.tracer is not None:
@@ -76,15 +121,73 @@ class TwoPhaseCoordinator:
                 "commit.decide", txn=incarnation, decision="COMMIT"
             )
 
-    def decide_abort(self, incarnation: str) -> None:
-        """Abort decision: close the voting round and forget.  No log
-        record, no acks awaited — absence means abort."""
-        self._voting.discard(incarnation)
+    def _record_abort(self, incarnation: str) -> None:
         self.stats.abort_decisions += 1
         if self.tracer is not None:
             self.tracer.event(
                 "commit.decide", txn=incarnation, decision="ABORT"
             )
+
+    def decide_commit(
+        self,
+        incarnation: str,
+        on_durable: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        """All participants voted YES: make the decision durable, then
+        remember.  The durability callback precedes every outgoing
+        COMMIT message — the presumed-abort invariant that makes
+        recovery sound.  ``on_durable`` receives the *chosen* value:
+        True almost always, False when a replicated backend reports the
+        group already durably presumed abort (the caller must then treat
+        the transaction as aborted)."""
+        if incarnation in self._commits:
+            self._voting.discard(incarnation)
+            if on_durable is not None:
+                on_durable(True)
+            return
+
+        def durable(chosen_commit: bool) -> None:
+            # the voting round stays open until here so inquiries made
+            # while durability is in flight are answered "ask again",
+            # never prematurely presumed abort
+            self._voting.discard(incarnation)
+            if chosen_commit:
+                self._record_commit(incarnation)
+            else:
+                self._record_abort(incarnation)
+            if on_durable is not None:
+                on_durable(chosen_commit)
+
+        self.decision_log.log_commit(incarnation, durable)
+
+    def decide_abort(
+        self,
+        incarnation: str,
+        on_durable: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        """Abort decision: close the voting round and forget.  With the
+        journal backend nothing is logged and nothing awaited — absence
+        means abort.  A replicated backend must still run consensus (an
+        explicit abort record), because a surviving replica may already
+        have durably chosen COMMIT from a complete quorum-logged vote
+        set; ``on_durable`` then reports True and the caller must
+        deliver commits, not aborts."""
+        if incarnation in self._commits:
+            self._voting.discard(incarnation)
+            if on_durable is not None:
+                on_durable(True)
+            return
+
+        def durable(chosen_commit: bool) -> None:
+            self._voting.discard(incarnation)
+            if chosen_commit:
+                self._record_commit(incarnation)
+            else:
+                self._record_abort(incarnation)
+            if on_durable is not None:
+                on_durable(chosen_commit)
+
+        self.decision_log.log_abort(incarnation, durable)
 
     # ------------------------------------------------------------------
     # queries
@@ -96,8 +199,11 @@ class TwoPhaseCoordinator:
         """Answer an in-doubt participant's inquiry: True = COMMIT,
         False = ABORT (presumed), None = still voting, ask again."""
         self.stats.inquiries += 1
-        if incarnation in self._commits:
+        outcome = self.decision_log.outcome(incarnation)
+        if incarnation in self._commits or outcome is True:
             answer: Optional[bool] = True
+        elif outcome is False:
+            answer = False
         elif incarnation in self._voting:
             answer = None
         else:
@@ -117,13 +223,18 @@ class TwoPhaseCoordinator:
     # ------------------------------------------------------------------
     @classmethod
     def recover(
-        cls, journal, stats: Optional[CommitStats] = None, tracer=None
+        cls,
+        journal,
+        stats: Optional[CommitStats] = None,
+        tracer=None,
+        decision_log=None,
     ) -> "TwoPhaseCoordinator":
-        """Rebuild after a GTM2 crash: the force-logged COMMIT decisions
-        are replayed from the journal; everything else is presumed
+        """Rebuild after a GTM2 crash: the durable COMMIT decisions are
+        replayed from the decision log; everything else is presumed
         aborted until the caller re-opens its surviving voting rounds
         via :meth:`begin_voting`."""
-        coordinator = cls(journal, stats, tracer=tracer)
+        coordinator = cls(journal, stats, tracer=tracer,
+                          decision_log=decision_log)
         coordinator.stats.coordinator_recoveries += 1
         return coordinator
 

@@ -69,7 +69,12 @@ class CommitStats:
     #: in-doubt windows closed, by who supplied the decision
     resolved_by_coordinator: int = 0
     resolved_by_peer: int = 0
+    #: … by a coordinator-group replica answering the fan-out inquiry
+    resolved_by_replica: int = 0
     in_doubt_resolved: int = 0
+    #: in-doubt windows still open when the simulation ended (their
+    #: partial lengths are flushed into the in-doubt histogram)
+    in_doubt_open_at_end: int = 0
     #: inquiries the coordinator answered
     inquiries: int = 0
     #: coordinator rebuilds from the journal after GTM2 crashes

@@ -26,6 +26,13 @@ of presumed-abort two-phase commit:
   coordinator an inquiry (answered from the decision log under presumed
   abort).  On restart after a crash the recovered prepared records
   trigger an immediate termination round — the recovery inquiry.
+- **replicated termination** — when the GTM runs a coordinator *group*
+  (``replica_resolvers``), the inquiry leg fans out to every
+  coordinator replica instead of the single GTM, so any surviving
+  replica terminates the participant: the in-doubt window no longer
+  depends on one process staying up.  YES votes are additionally
+  broadcast to the group (``vote_broadcast``) so a replica recovery
+  round can compute the decision from the quorum-logged votes.
 
 All messaging (inquiry and reply legs) goes through the injected
 ``fate()``/``message_delay`` so message loss, duplication, and delay
@@ -34,7 +41,7 @@ apply to the termination traffic exactly as to everything else.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.commit.model import CommitPolicy, CommitStats
 from repro.lmdbs.database import LocalDBMS
@@ -63,6 +70,10 @@ class CommitParticipant:
         on_yes_vote: Optional[Callable[[str, int], None]] = None,
         tracer=None,
         site_up: Optional[Callable[[], bool]] = None,
+        replica_resolvers: Optional[
+            Sequence[Tuple[str, Callable[[str], Optional[bool]]]]
+        ] = None,
+        vote_broadcast: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.site = site
         #: optional :class:`repro.observability.Tracer` for vote /
@@ -75,6 +86,14 @@ class CommitParticipant:
         #: synchronous decision-log lookup at the coordinator (the
         #: messaging around it is modelled here, on both legs)
         self.coordinator_resolver = coordinator_resolver
+        #: coordinator-group mode: ``(name, resolver)`` per replica; when
+        #: set, termination rounds fan out here instead of the single
+        #: coordinator resolver
+        self.replica_resolvers = tuple(replica_resolvers or ())
+        #: coordinator-group mode: broadcast this site's YES vote to the
+        #: replica quorum (re-run on restart for surviving prepared
+        #: records)
+        self.vote_broadcast = vote_broadcast
         self.message_delay = message_delay
         self.fate = fate or (lambda: (0.0,))
         #: fault-point hook: called after each YES vote with the site's
@@ -155,6 +174,8 @@ class CommitParticipant:
         self._yes_votes += 1
         if self.on_yes_vote is not None:
             self.on_yes_vote(self.site, self._yes_votes)
+        if self.vote_broadcast is not None:
+            self.vote_broadcast(incarnation)
         return True
 
     # ------------------------------------------------------------------
@@ -269,11 +290,23 @@ class CommitParticipant:
                     self.message_delay + extra,
                     lambda p=peer: self._peer_inquiry(incarnation, p),
                 )
-        for extra in self.fate():  # coordinator inquiry leg
-            self.loop.schedule(
-                self.message_delay + extra,
-                lambda: self._coordinator_inquiry(incarnation),
-            )
+        if self.replica_resolvers:
+            # coordinator-group mode: one inquiry per replica — any
+            # reachable replica with the learned decision terminates us
+            for name, resolver in self.replica_resolvers:
+                for extra in self.fate():  # replica inquiry leg
+                    self.loop.schedule(
+                        self.message_delay + extra,
+                        lambda n=name, r=resolver: self._replica_inquiry(
+                            incarnation, n, r
+                        ),
+                    )
+        else:
+            for extra in self.fate():  # coordinator inquiry leg
+                self.loop.schedule(
+                    self.message_delay + extra,
+                    lambda: self._coordinator_inquiry(incarnation),
+                )
         self._arm_termination(incarnation)
 
     def _peer_inquiry(self, incarnation: str, peer: "CommitParticipant") -> None:
@@ -304,8 +337,31 @@ class CommitParticipant:
                 ),
             )
 
+    def _replica_inquiry(
+        self,
+        incarnation: str,
+        name: str,
+        resolver: Callable[[str], Optional[bool]],
+    ) -> None:
+        if incarnation not in self._in_doubt_since:
+            return
+        verdict = resolver(incarnation)
+        if verdict is None:
+            return  # replica unreachable or undecided; ask again
+        for extra in self.fate():  # reply leg
+            self.loop.schedule(
+                self.message_delay + extra,
+                lambda v=verdict: self._resolve_in_doubt(
+                    incarnation, v, by_peer=False, source=name
+                ),
+            )
+
     def _resolve_in_doubt(
-        self, incarnation: str, commit: bool, by_peer: bool
+        self,
+        incarnation: str,
+        commit: bool,
+        by_peer: bool,
+        source: Optional[str] = None,
     ) -> None:
         if incarnation not in self._in_doubt_since:
             return  # the real decision (or another reply) got here first
@@ -313,6 +369,16 @@ class CommitParticipant:
             return  # crashed while the reply was in flight
         if by_peer:
             self.stats.resolved_by_peer += 1
+        elif source is not None:
+            self.stats.resolved_by_replica += 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    "commit.group.resolve",
+                    txn=incarnation,
+                    site=self.site,
+                    replica=source,
+                    decision="COMMIT" if commit else "ABORT",
+                )
         else:
             self.stats.resolved_by_coordinator += 1
         self.on_decide(incarnation, commit, lambda ok: None)
@@ -348,7 +414,21 @@ class CommitParticipant:
             timer = self._termination_timers.pop(incarnation, None)
             if timer is not None:
                 timer.cancel()
+            if self.vote_broadcast is not None:
+                # the quorum may never have heard this vote (we crashed
+                # mid-broadcast): re-announce from the durable record
+                self.vote_broadcast(incarnation)
             self._run_termination(incarnation)
+
+    def open_in_doubt(self, now: float) -> Tuple[float, ...]:
+        """Still-open in-doubt windows measured up to *now*, in
+        incarnation order — flushed into the in-doubt metrics at
+        simulation end so a run that finishes with a blocked participant
+        reports the window it is actually measuring."""
+        return tuple(
+            now - since
+            for _, since in sorted(self._in_doubt_since.items())
+        )
 
     def __repr__(self) -> str:
         return (

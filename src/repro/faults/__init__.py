@@ -24,8 +24,10 @@ from repro.faults.model import (
     FaultStats,
     MessageFaultConfig,
     PrepareCrash,
+    ReplicaCrash,
     RetryPolicy,
     SiteCrash,
+    VoteDecidePartition,
     WriteCrash,
 )
 from repro.faults.plan import FaultPlan
@@ -37,9 +39,11 @@ __all__ = [
     "FaultStats",
     "MessageFaultConfig",
     "PrepareCrash",
+    "ReplicaCrash",
     "RetryPolicy",
     "SiteCrash",
     "SiteChannel",
+    "VoteDecidePartition",
     "WriteCrash",
     "site_up",
 ]

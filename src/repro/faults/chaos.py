@@ -35,6 +35,7 @@ from repro.mdbs.simulator import (
 )
 from repro.mdbs.verification import (
     AtomicityReport,
+    DecisionUniquenessReport,
     ExactlyOnceReport,
     ReplicaConsistencyReport,
     VerificationReport,
@@ -86,6 +87,17 @@ class ChaosOptions:
     #: crashes keyed to replicated-write progress (site down right
     #: after its n-th replica write); only drawn when > 0
     write_crash_count: int = 0
+    #: replicated commit decision log (repro.commit.group): number of
+    #: coordinator replicas; 0 = off — the single-coordinator journal
+    #: backend, byte-identical to pre-group chaos.  Non-blocking
+    #: termination needs 2f+1 >= 3
+    commit_group_size: int = 0
+    #: coordinator-replica crashes keyed to vote-log progress; only
+    #: drawn when > 0
+    coordinator_crash_count: int = 0
+    #: vote/decision partitions (acting leader + GTM on the minority
+    #: side); only drawn when > 0
+    vote_decide_partition_count: int = 0
 
 
 @dataclass
@@ -104,6 +116,8 @@ class ChaosResult:
     unresolved: Tuple[str, ...]
     #: replica-copy order agreement (None when replication is off)
     replicas: Optional[ReplicaConsistencyReport] = None
+    #: commit-group decision uniqueness (None without a commit group)
+    decisions: Optional[DecisionUniquenessReport] = None
 
     @property
     def ok(self) -> bool:
@@ -113,6 +127,7 @@ class ChaosResult:
             and self.atomicity.ok
             and self.terminated
             and (self.replicas is None or self.replicas.ok)
+            and (self.decisions is None or self.decisions.ok)
         )
 
     def failure_reasons(self) -> Tuple[str, ...]:
@@ -137,6 +152,10 @@ class ChaosResult:
         if self.replicas is not None and not self.replicas.ok:
             reasons.append(
                 f"replica copies diverged: {self.replicas.divergent}"
+            )
+        if self.decisions is not None and not self.decisions.ok:
+            reasons.append(
+                f"conflicting commit decisions: {self.decisions.violations}"
             )
         return tuple(reasons)
 
@@ -182,6 +201,9 @@ def build_chaos_simulator(
         downtime=options.downtime,
         prepare_crash_count=options.prepare_crash_count,
         write_crash_count=options.write_crash_count,
+        coordinator_crash_count=options.coordinator_crash_count,
+        vote_decide_partition_count=options.vote_decide_partition_count,
+        commit_group_size=options.commit_group_size,
     )
     simulator = MDBSSimulator(
         sites,
@@ -192,6 +214,7 @@ def build_chaos_simulator(
         scheme_factory=lambda: make_scheme(options.scheme),
         atomic_commit=options.atomic_commit,
         replica_map=replica_map,
+        commit_group_size=options.commit_group_size,
     )
     if replica_map is not None:
         batch = workload.logical_batch(
@@ -232,6 +255,11 @@ def run_chaos(options: ChaosOptions, seed: int) -> ChaosResult:
         if simulator.replica_map is not None
         else None
     )
+    decisions = (
+        simulator.decision_uniqueness_report()
+        if simulator.commit_group is not None
+        else None
+    )
     return ChaosResult(
         seed=seed,
         options=options,
@@ -242,6 +270,7 @@ def run_chaos(options: ChaosOptions, seed: int) -> ChaosResult:
         terminated=terminated,
         unresolved=unresolved,
         replicas=replicas,
+        decisions=decisions,
     )
 
 

@@ -131,6 +131,56 @@ class WriteCrash:
             raise FaultConfigError(f"negative downtime in {self!r}")
 
 
+@dataclass(frozen=True)
+class ReplicaCrash:
+    """A coordinator-replica crash scheduled *relative to vote-log
+    progress*: replica ``replica`` of the commit group goes down right
+    after writing its *after_votes*-th vote record — i.e. between a
+    participant's YES vote reaching the group and the decision being
+    broadcast, the window the replicated decision log exists for.  Only
+    meaningful when the simulator runs with a commit group."""
+
+    #: rank of the coordinator replica to crash (0 = initial leader)
+    replica: int = 0
+    #: crash after this many vote records at the replica (1-based)
+    after_votes: int = 1
+    downtime: float = 25.0
+
+    def validate(self) -> None:
+        if self.replica < 0:
+            raise FaultConfigError(
+                f"replica rank must be >= 0, got {self.replica}"
+            )
+        if self.after_votes < 1:
+            raise FaultConfigError(
+                f"after_votes must be >= 1, got {self.after_votes}"
+            )
+        if self.downtime < 0:
+            raise FaultConfigError(f"negative downtime in {self!r}")
+
+
+@dataclass(frozen=True)
+class VoteDecidePartition:
+    """A network partition between vote and decision: once
+    *after_votes* votes are quorum-durable, the acting leader replica
+    *and* the GTM land on the minority side for *duration* — the GTM
+    cannot drive its proposal, so in-doubt participants must terminate
+    through a takeover round at the surviving majority.  Only
+    meaningful when the simulator runs with a commit group."""
+
+    #: trigger after this many quorum-durable votes (1-based)
+    after_votes: int = 1
+    duration: float = 60.0
+
+    def validate(self) -> None:
+        if self.after_votes < 1:
+            raise FaultConfigError(
+                f"after_votes must be >= 1, got {self.after_votes}"
+            )
+        if self.duration < 0:
+            raise FaultConfigError(f"negative duration in {self!r}")
+
+
 @dataclass
 class RetryPolicy:
     """Ack-timeout and retry behaviour of one resilient server link.

@@ -18,7 +18,9 @@ from repro.faults.model import (
     FaultConfigError,
     MessageFaultConfig,
     PrepareCrash,
+    ReplicaCrash,
     SiteCrash,
+    VoteDecidePartition,
     WriteCrash,
 )
 
@@ -40,6 +42,14 @@ class FaultPlan:
     #: dark right after executing its n-th global WRITE of a replicated
     #: item (ignored unless the simulator runs with a replica map)
     crash_after_writes: Tuple[WriteCrash, ...] = ()
+    #: coordinator-replica crashes keyed to vote-log progress: the
+    #: replica goes dark right after its n-th vote record (ignored
+    #: unless the simulator runs with a commit group)
+    crash_coordinator_replica: Tuple[ReplicaCrash, ...] = ()
+    #: vote/decision partitions: after n quorum-durable votes the acting
+    #: leader and the GTM drop to the minority side (ignored unless the
+    #: simulator runs with a commit group)
+    vote_decide_partitions: Tuple[VoteDecidePartition, ...] = ()
 
     def validate(self) -> None:
         self.messages.validate()
@@ -52,6 +62,10 @@ class FaultPlan:
             crash.validate()
         for crash in self.crash_after_writes:
             crash.validate()
+        for crash in self.crash_coordinator_replica:
+            crash.validate()
+        for partition in self.vote_decide_partitions:
+            partition.validate()
 
     @property
     def is_quiet(self) -> bool:
@@ -62,6 +76,8 @@ class FaultPlan:
             and not self.site_crashes
             and not self.crash_after_prepare
             and not self.crash_after_writes
+            and not self.crash_coordinator_replica
+            and not self.vote_decide_partitions
         )
 
     @classmethod
@@ -76,7 +92,8 @@ class FaultPlan:
         rejecting unknown keywords with a clean error instead of the
         silent-ignore a ``dict(**mapping)`` splat would give.  Nested
         entries may be mappings (``messages``) or sequences of mappings
-        (``site_crashes``, ``crash_after_prepare``)."""
+        (``site_crashes``, ``crash_after_prepare``, …); their keys are
+        validated against the scenario dataclass the same way."""
         valid = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(mapping) - valid)
         if unknown:
@@ -86,27 +103,33 @@ class FaultPlan:
             )
 
         def build(factory, value):
-            return factory(**value) if isinstance(value, Mapping) else value
+            if not isinstance(value, Mapping):
+                return value
+            fields = {f.name for f in dataclasses.fields(factory)}
+            bad = sorted(set(value) - fields)
+            if bad:
+                raise FaultConfigError(
+                    f"unknown {factory.__name__} field(s) {bad}; "
+                    f"valid fields: {sorted(fields)}"
+                )
+            return factory(**value)
 
         kwargs: dict = dict(mapping)
         if "messages" in kwargs:
             kwargs["messages"] = build(MessageFaultConfig, kwargs["messages"])
         if "gtm_crashes" in kwargs:
             kwargs["gtm_crashes"] = tuple(kwargs["gtm_crashes"])
-        if "site_crashes" in kwargs:
-            kwargs["site_crashes"] = tuple(
-                build(SiteCrash, crash) for crash in kwargs["site_crashes"]
-            )
-        if "crash_after_prepare" in kwargs:
-            kwargs["crash_after_prepare"] = tuple(
-                build(PrepareCrash, crash)
-                for crash in kwargs["crash_after_prepare"]
-            )
-        if "crash_after_writes" in kwargs:
-            kwargs["crash_after_writes"] = tuple(
-                build(WriteCrash, crash)
-                for crash in kwargs["crash_after_writes"]
-            )
+        for name, factory in (
+            ("site_crashes", SiteCrash),
+            ("crash_after_prepare", PrepareCrash),
+            ("crash_after_writes", WriteCrash),
+            ("crash_coordinator_replica", ReplicaCrash),
+            ("vote_decide_partitions", VoteDecidePartition),
+        ):
+            if name in kwargs:
+                kwargs[name] = tuple(
+                    build(factory, entry) for entry in kwargs[name]
+                )
         try:
             plan = cls(**kwargs)
         except TypeError as exc:
@@ -128,6 +151,9 @@ class FaultPlan:
         downtime: float = 25.0,
         prepare_crash_count: int = 0,
         write_crash_count: int = 0,
+        coordinator_crash_count: int = 0,
+        vote_decide_partition_count: int = 0,
+        commit_group_size: int = 0,
     ) -> "FaultPlan":
         """Draw a randomized schedule: crash instants uniform in *window*,
         crashing sites drawn uniformly from *sites*.  Fully determined by
@@ -138,7 +164,12 @@ class FaultPlan:
         ``write_crash_count`` likewise draws replication-progress-keyed
         crashes (site after its n-th replicated write, n uniform in
         1..3); its draws come after the prepare-crash draws, preserving
-        the same byte-identity property."""
+        the same byte-identity property.  ``coordinator_crash_count``
+        and ``vote_decide_partition_count`` draw commit-group scenarios
+        (the first replica crash always hits rank 0, the initial leader
+        — the crash the replicated decision log exists to survive;
+        later ones pick a rank uniformly below ``commit_group_size``);
+        their draws come last, extending the byte-identity chain."""
         rng = random.Random(seed)
         start, end = window
         if end <= start:
@@ -175,6 +206,22 @@ class FaultPlan:
             )
             for _ in range(write_crash_count)
         )
+        ranks = max(1, commit_group_size)
+        crash_coordinator_replica = tuple(
+            ReplicaCrash(
+                replica=0 if index == 0 else rng.randrange(ranks),
+                after_votes=rng.randint(1, 3),
+                downtime=downtime,
+            )
+            for index in range(coordinator_crash_count)
+        )
+        vote_decide_partitions = tuple(
+            VoteDecidePartition(
+                after_votes=rng.randint(1, 3),
+                duration=2.0 * downtime,
+            )
+            for _ in range(vote_decide_partition_count)
+        )
         plan = cls(
             seed=seed,
             messages=MessageFaultConfig(
@@ -186,6 +233,8 @@ class FaultPlan:
             site_crashes=site_crashes,
             crash_after_prepare=crash_after_prepare,
             crash_after_writes=crash_after_writes,
+            crash_coordinator_replica=crash_coordinator_replica,
+            vote_decide_partitions=vote_decide_partitions,
         )
         plan.validate()
         return plan

@@ -11,11 +11,13 @@ from repro.mdbs.simulator import (
 )
 from repro.mdbs.verification import (
     AtomicityReport,
+    DecisionUniquenessReport,
     ExactlyOnceReport,
     ReplicaConsistencyReport,
     VerificationReport,
     assert_verified,
     check_atomicity,
+    check_decision_uniqueness,
     check_exactly_once,
     check_replicas,
     committed_ser_projection,
@@ -34,11 +36,13 @@ __all__ = [
     "SimulationConfig",
     "SimulationReport",
     "AtomicityReport",
+    "DecisionUniquenessReport",
     "ExactlyOnceReport",
     "ReplicaConsistencyReport",
     "VerificationReport",
     "assert_verified",
     "check_atomicity",
+    "check_decision_uniqueness",
     "check_exactly_once",
     "check_replicas",
     "committed_ser_projection",

@@ -43,9 +43,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.commit import (
+    CommitGroupStats,
     CommitParticipant,
     CommitPolicy,
     CommitStats,
+    CoordinatorGroup,
+    QuorumDecisionLog,
     TwoPhaseCoordinator,
 )
 from repro.core.engine import Engine
@@ -177,8 +180,13 @@ class SimulationReport:
     commit_stats: Optional[CommitStats] = None
     #: decide-commit → all-sites-acked latencies, per committed global
     commit_latencies: Tuple[float, ...] = ()
-    #: resolved in-doubt window lengths across all participants (E11)
+    #: in-doubt window lengths across all participants (E11/E13):
+    #: resolved windows first, then — flushed at simulation end — the
+    #: partial lengths of windows still open when the run stopped
     in_doubt_times: Tuple[float, ...] = ()
+    #: coordinator-group outcome (None / 0 without a commit group)
+    commit_group: Optional[CommitGroupStats] = None
+    commit_group_size: int = 0
     # -- scheduling-cost attribution (perf fast paths; see
     # -- docs/performance.md) ------------------------------------------
     #: structural graph/index mutations: scheme-level (TSGD, ser_bef
@@ -243,6 +251,7 @@ class MDBSSimulator:
         atomic_commit: bool = False,
         tracer=None,
         replica_map: Optional[ReplicaMap] = None,
+        commit_group_size: int = 0,
     ) -> None:
         self.sites = dict(sites)
         self.scheme = scheme
@@ -304,21 +313,64 @@ class MDBSSimulator:
         self._ticket_counters: Dict[str, int] = {}
         # --- atomic-commitment layer (repro.commit) ---
         self.commit_stats = CommitStats() if atomic_commit else None
+        #: replicated decision log (repro.commit.group): size 0 keeps the
+        #: single-coordinator journal backend (byte-identical legacy
+        #: behaviour); size >= 1 routes every decision through quorum
+        #: consensus and in-doubt termination through the replicas
+        self.commit_group_size = commit_group_size if atomic_commit else 0
+        self.commit_group: Optional[CoordinatorGroup] = None
+        self.commit_group_stats: Optional[CommitGroupStats] = None
+        fate = (
+            self.injector.message_fate
+            if self.injector is not None
+            else None
+        )
+        if atomic_commit and self.commit_group_size >= 1:
+            self.commit_group_stats = CommitGroupStats()
+            self.commit_group = CoordinatorGroup(
+                self.commit_group_size,
+                self.loop,
+                message_delay=self.config.latencies.message_delay,
+                fate=fate,
+                stats=self.commit_group_stats,
+                tracer=tracer,
+                retry=self.config.retry,
+            )
+            self.commit_group.on_vote_logged = self._on_group_vote_logged
+            self.commit_group.on_quorum_vote = self._on_group_quorum_vote
         self.coordinator = (
             TwoPhaseCoordinator(
-                self._journal, self.commit_stats, tracer=tracer
+                self._journal,
+                self.commit_stats,
+                tracer=tracer,
+                decision_log=(
+                    QuorumDecisionLog(self.commit_group)
+                    if self.commit_group is not None
+                    else None
+                ),
             )
             if atomic_commit
             else None
         )
         self.participants: Dict[str, CommitParticipant] = {}
         if atomic_commit:
-            fate = (
-                self.injector.message_fate
-                if self.injector is not None
-                else None
-            )
+            replica_resolvers = None
+            vote_broadcast = None
+            if self.commit_group is not None:
+                replica_resolvers = tuple(
+                    (
+                        f"replica-{rank}",
+                        lambda inc, r=rank: self.commit_group.inquire(
+                            r, inc
+                        ),
+                    )
+                    for rank in range(self.commit_group_size)
+                )
             for site, db in self.sites.items():
+                if self.commit_group is not None:
+                    vote_broadcast = (
+                        lambda inc, s=site: self._broadcast_vote(inc, s)
+                    )
                 self.participants[site] = CommitParticipant(
                     site,
                     db,
@@ -335,6 +387,8 @@ class MDBSSimulator:
                             d, self.injector, self.loop.now
                         )
                     ),
+                    replica_resolvers=replica_resolvers,
+                    vote_broadcast=vote_broadcast,
                 )
             for participant in self.participants.values():
                 participant.peers = self.participants
@@ -344,6 +398,10 @@ class MDBSSimulator:
         self.commit_latencies: List[float] = []
         #: indexes of crash_after_prepare entries already fired
         self._prepare_crashes_fired: Set[int] = set()
+        #: indexes of crash_coordinator_replica entries already fired
+        self._replica_crashes_fired: Set[int] = set()
+        #: indexes of vote_decide_partitions entries already fired
+        self._partitions_fired: Set[int] = set()
         # --- available-copies replication (repro.replication) ---
         #: item → copies; None = the paper's single-copy model, every
         #: replication path skipped and runs byte-identical to before
@@ -611,11 +669,23 @@ class MDBSSimulator:
             self.commit_stats.prepared_abort_refusals = sum(
                 db.prepared_abort_refusals for db in self.sites.values()
             )
-            in_doubt = tuple(
+            resolved = [
                 window
                 for site in sorted(self.participants)
                 for window in self.participants[site].in_doubt_times
-            )
+            ]
+            # flush still-open windows: a run that ends with a blocked
+            # participant must report the window it is measuring, not
+            # silently under-report it
+            open_windows = [
+                window
+                for site in sorted(self.participants)
+                for window in self.participants[site].open_in_doubt(
+                    self.loop.now
+                )
+            ]
+            self.commit_stats.in_doubt_open_at_end = len(open_windows)
+            in_doubt = tuple(resolved + open_windows)
         site_graph_ops = sum(
             getattr(db.protocol, "graph_ops", 0)
             for db in self.sites.values()
@@ -643,6 +713,8 @@ class MDBSSimulator:
             commit_stats=self.commit_stats,
             commit_latencies=tuple(self.commit_latencies),
             in_doubt_times=in_doubt,
+            commit_group=self.commit_group_stats,
+            commit_group_size=self.commit_group_size,
             graph_ops=self.scheme.metrics.graph_ops + site_graph_ops,
             dfs_steps_avoided=(
                 self.scheme.metrics.dfs_steps_avoided + site_dfs_avoided
@@ -736,12 +808,22 @@ class MDBSSimulator:
         self.scheme = fresh
         if self.coordinator is not None:
             # the coordinator's volatile state dies with GTM2; rebuild
-            # the decided-commit set from the journal's force-logged
-            # decisions, then re-open the voting rounds of incarnations
-            # GTM1 still tracks (its bookkeeping survives) so in-doubt
-            # inquiries made mid-vote are not prematurely presumed abort
+            # the decided-commit set from the decision log — the local
+            # journal's force-logged records, or (group mode) the
+            # replicas' chosen ledger, which lives outside the GTM and
+            # survives untouched — then re-open the voting rounds of
+            # incarnations GTM1 still tracks (its bookkeeping survives)
+            # so in-doubt inquiries made mid-vote are not prematurely
+            # presumed abort
             self.coordinator = TwoPhaseCoordinator.recover(
-                self._journal, self.commit_stats, tracer=self.tracer
+                self._journal,
+                self.commit_stats,
+                tracer=self.tracer,
+                decision_log=(
+                    QuorumDecisionLog(self.commit_group)
+                    if self.commit_group is not None
+                    else None
+                ),
             )
             for incarnation in self._runtimes:
                 self.coordinator.begin_voting(incarnation)
@@ -1110,14 +1192,31 @@ class MDBSSimulator:
         self._stats[logical].committed_at = self.loop.now
 
     def _begin_decide_commit(self, runtime: _GlobalRuntime) -> None:
-        """Phase 2 of 2PC (commit side): force-log the decision, then
+        """Phase 2 of 2PC (commit side): make the decision durable, then
         deliver it to every participant; the global transaction is
-        reported committed when all sites acknowledged."""
+        reported committed when all sites acknowledged.  With the
+        journal backend durability is synchronous; with a commit group
+        it lands a quorum round-trip later — and may come back ABORT
+        when a surviving replica terminated the transaction first (a
+        recovery round presumed abort for votes it could not see), in
+        which case the incarnation is overruled and restarted."""
         incarnation = runtime.incarnation
-        self.coordinator.decide_commit(incarnation)
+        started = self.loop.now
+
+        def durable(chosen_commit: bool) -> None:
+            if chosen_commit:
+                self._deliver_commit_decides(runtime, started)
+            else:
+                self._decision_overruled(runtime)
+
+        self.coordinator.decide_commit(incarnation, on_durable=durable)
+
+    def _deliver_commit_decides(
+        self, runtime: _GlobalRuntime, started: float
+    ) -> None:
+        incarnation = runtime.incarnation
         pending: Set[str] = set(runtime.program.sites)
         self._deciding[incarnation] = pending
-        started = self.loop.now
         logical = self._logical(incarnation)
         for site in runtime.program.sites:
 
@@ -1141,6 +1240,36 @@ class MDBSSimulator:
                     self.commit_latencies.append(self.loop.now - started)
 
             self._send_decide(incarnation, site, True, completion)
+
+    def _decision_overruled(self, runtime: _GlobalRuntime) -> None:
+        """The GTM wanted COMMIT but the group had already durably
+        chosen ABORT (a takeover presumed abort before every vote was
+        quorum-visible).  The chosen value is the truth — deliver ABORT
+        to the sites and restart the logical transaction.  The engine
+        already processed this incarnation's Fin, so only the decision
+        delivery and the restart tail remain."""
+        incarnation = runtime.incarnation
+        self.commit_group_stats.commits_overruled += 1
+        self.global_aborts += 1
+        self._aborted_at[incarnation] = self.loop.now
+        if self.tracer is not None:
+            self.tracer.event(
+                "commit.group.overruled",
+                txn=incarnation,
+                verdict="COMMIT",
+                chosen="ABORT",
+            )
+        for site in runtime.program.sites:
+            self._send_abort_decision(incarnation, site)
+        logical = self._logical(incarnation)
+        self._restart_count[logical] += 1
+        if self._restart_count[logical] <= self.config.max_restarts:
+            self.loop.schedule(
+                self.config.restart_backoff,
+                lambda: self._start_incarnation(logical),
+            )
+        else:
+            self.failed_global.append(logical)
 
     def _send_decide(
         self,
@@ -1174,14 +1303,44 @@ class MDBSSimulator:
         if runtime is None or runtime.done:
             return
         runtime.done = True
+        if self.coordinator is None:
+            self._finish_abort(runtime, reason)
+            return
+
+        # presumed abort: close the voting round and tell the
+        # participants best-effort; a lost decision is covered by the
+        # termination protocol (prepared sites) and the orphan sweep
+        # (unprepared leftovers).  With the journal backend the abort
+        # is durable synchronously; with a commit group the proposal may
+        # instead discover that a takeover already durably chose COMMIT
+        # from the quorum-logged votes — the chosen value wins, so the
+        # GTM completes the commit rather than double-deciding.
+        def durable(chosen_commit: bool) -> None:
+            if chosen_commit:
+                self.commit_group_stats.aborts_overruled += 1
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "commit.group.overruled",
+                        txn=incarnation,
+                        verdict="ABORT",
+                        chosen="COMMIT",
+                    )
+                self.engine.purge_transaction(incarnation)
+                remover = getattr(self.scheme, "remove_transaction", None)
+                if remover is not None:
+                    remover(incarnation)
+                self.engine.run()
+                self._deliver_commit_decides(runtime, self.loop.now)
+            else:
+                self._finish_abort(runtime, reason)
+
+        self.coordinator.decide_abort(incarnation, on_durable=durable)
+
+    def _finish_abort(self, runtime: _GlobalRuntime, reason: str) -> None:
+        incarnation = runtime.incarnation
         self.global_aborts += 1
         self._aborted_at[incarnation] = self.loop.now
         if self.coordinator is not None:
-            # presumed abort: close the voting round (no log record) and
-            # tell the participants best-effort; a lost decision is
-            # covered by the termination protocol (prepared sites) and
-            # the orphan sweep (unprepared leftovers)
-            self.coordinator.decide_abort(incarnation)
             for site in runtime.program.sites:
                 self._send_abort_decision(incarnation, site)
         else:
@@ -1248,6 +1407,73 @@ class MDBSSimulator:
     def _resolve_inquiry(self, incarnation: str) -> Optional[bool]:
         """Coordinator half of an in-doubt participant's inquiry."""
         return self.coordinator.resolve(incarnation)
+
+    def _broadcast_vote(self, incarnation: str, site: str) -> None:
+        """Multi-shot commit: fan a participant's YES vote out to every
+        coordinator replica so the vote is quorum-logged, not held by a
+        single coordinator."""
+        runtime = self._runtimes.get(incarnation)
+        sites: Tuple[str, ...] = (
+            runtime.program.sites if runtime is not None else ()
+        )
+        self.commit_group.broadcast_vote(
+            incarnation,
+            site,
+            sites,
+            origin_up=lambda s=site: site_up(
+                self.sites[s], self.injector, self.loop.now
+            ),
+        )
+
+    def _on_group_vote_logged(self, rank: int, count: int) -> None:
+        """Fault point: ``FaultPlan.crash_coordinator_replica`` crashes
+        a commit-group replica keyed to its vote-log progress — the
+        window between a YES vote landing and the decision round."""
+        if self.injector is None:
+            return
+        for index, crash in enumerate(
+            self.injector.plan.crash_coordinator_replica
+        ):
+            if index in self._replica_crashes_fired:
+                continue
+            if crash.replica >= len(self.commit_group.replicas):
+                continue
+            if crash.replica == rank and crash.after_votes == count:
+                self._replica_crashes_fired.add(index)
+                self.loop.schedule(
+                    0.0,
+                    lambda r=rank, d=crash.downtime: (
+                        self._crash_coordinator_replica(r, d)
+                    ),
+                )
+
+    def _crash_coordinator_replica(self, rank: int, downtime: float) -> None:
+        if self.commit_group.crash_replica(rank):
+            self.loop.schedule(
+                downtime,
+                lambda: self.commit_group.restart_replica(rank),
+            )
+
+    def _on_group_quorum_vote(self, count: int) -> None:
+        """Fault point: ``FaultPlan.vote_decide_partitions`` drops the
+        acting leader and the GTM to the minority side once *count*
+        votes are quorum-durable — in-doubt participants must then
+        terminate through a takeover at the surviving majority."""
+        if self.injector is None:
+            return
+        for index, partition in enumerate(
+            self.injector.plan.vote_decide_partitions
+        ):
+            if index in self._partitions_fired:
+                continue
+            if partition.after_votes == count:
+                self._partitions_fired.add(index)
+                self.loop.schedule(
+                    0.0,
+                    lambda d=partition.duration: (
+                        self.commit_group.partition_leader(d)
+                    ),
+                )
 
     def _on_yes_vote(self, site: str, count: int) -> None:
         """Fault point: ``FaultPlan.crash_after_prepare`` schedules site
@@ -1387,6 +1613,24 @@ class MDBSSimulator:
         return check_replicas(
             {site: db.storage for site, db in self.sites.items()},
             self.replica_map,
+        )
+
+    def decision_uniqueness_report(self):
+        """Commit-group safety evidence: every replica learned the same
+        decision per incarnation, and no participant history contradicts
+        the quorum-chosen value (see
+        :func:`repro.mdbs.verification.check_decision_uniqueness`);
+        requires a commit group."""
+        from repro.mdbs.verification import check_decision_uniqueness
+
+        if self.commit_group is None:
+            raise ProtocolViolation(
+                "decision_uniqueness_report requires a commit group "
+                "(commit_group_size >= 1 with atomic_commit)"
+            )
+        return check_decision_uniqueness(
+            self.commit_group,
+            {site: db.history for site, db in self.sites.items()},
         )
 
     def atomicity_report(self):

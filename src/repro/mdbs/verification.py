@@ -407,6 +407,107 @@ def check_replicas(stores, replica_map) -> ReplicaConsistencyReport:
     )
 
 
+@dataclass
+class DecisionUniquenessReport:
+    """Safety evidence for the replicated commit decision log.
+
+    Built from the commit group's ground truth (each replica's learned
+    decisions plus the quorum-chosen ledger) and the sites' history
+    logs: consensus promises that at most one value is ever chosen per
+    incarnation, every replica learns that one value, and no
+    participant applies an outcome that contradicts it.  Any entry in
+    ``violations`` is a hard safety failure — unlike liveness (a
+    decision may still be *unknown* at some replica when the run ends),
+    conflicting decisions can never be explained by timing."""
+
+    #: incarnations with a quorum-chosen decision
+    decided: int
+    #: (incarnation, rank) learned-decision records inspected
+    learned_checked: int
+    #: human-readable safety violations; empty when the log is unique
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_decision_uniqueness(group, histories) -> DecisionUniquenessReport:
+    """Check that the commit group never produced conflicting decisions.
+
+    *group* is a :class:`repro.commit.CoordinatorGroup`; *histories*
+    maps site id to that site's :class:`repro.lmdbs.history.HistoryLog`.
+    Three layers of evidence, strongest last:
+
+    1. replica vs replica — two replicas learned different decisions
+       for the same incarnation;
+    2. replica vs quorum — a replica learned a value that is not the
+       quorum-chosen one (or learned where nothing was ever chosen);
+    3. participant vs quorum — a site's executed history shows a COMMIT
+       for an incarnation whose chosen decision is ABORT, or an ABORT
+       where COMMIT was chosen (the participant-visible half of the
+       "no conflicting decisions" promise).
+    """
+    from repro.schedules.model import OpType as _OpType
+
+    violations: List[str] = []
+    learned_checked = 0
+    learned_by_inc: Dict[str, Dict[int, bool]] = {}
+    for replica in group.replicas:
+        for incarnation, value in replica.learned.items():
+            learned_checked += 1
+            learned_by_inc.setdefault(incarnation, {})[replica.rank] = value
+    for incarnation in sorted(learned_by_inc):
+        by_rank = learned_by_inc[incarnation]
+        if len(set(by_rank.values())) > 1:
+            violations.append(
+                f"replicas disagree on {incarnation!r}: "
+                + ", ".join(
+                    f"replica-{rank}="
+                    + ("COMMIT" if by_rank[rank] else "ABORT")
+                    for rank in sorted(by_rank)
+                )
+            )
+        chosen = group.chosen.get(incarnation)
+        for rank in sorted(by_rank):
+            if chosen is None:
+                violations.append(
+                    f"replica-{rank} learned a decision for "
+                    f"{incarnation!r} that was never quorum-chosen"
+                )
+            elif by_rank[rank] != chosen:
+                violations.append(
+                    f"replica-{rank} learned "
+                    + ("COMMIT" if by_rank[rank] else "ABORT")
+                    + f" for {incarnation!r} but the quorum chose "
+                    + ("COMMIT" if chosen else "ABORT")
+                )
+    if group.stats.decision_conflicts:
+        violations.append(
+            f"{group.stats.decision_conflicts} conflicting accept "
+            f"round(s) reached the choose step"
+        )
+    for incarnation in sorted(group.chosen):
+        chosen = group.chosen[incarnation]
+        for site in sorted(histories):
+            outcome = histories[site].outcome_of(incarnation)
+            if outcome is None:
+                continue
+            applied_commit = outcome is _OpType.COMMIT
+            if applied_commit != chosen:
+                violations.append(
+                    f"site {site!r} "
+                    + ("committed" if applied_commit else "aborted")
+                    + f" {incarnation!r} but the quorum chose "
+                    + ("COMMIT" if chosen else "ABORT")
+                )
+    return DecisionUniquenessReport(
+        decided=len(group.chosen),
+        learned_checked=learned_checked,
+        violations=tuple(violations),
+    )
+
+
 def serialization_order_consistent(
     global_schedule: GlobalSchedule, ser_schedule: SerSchedule
 ) -> bool:

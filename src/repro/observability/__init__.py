@@ -30,6 +30,7 @@ backend).
 
 from repro.observability.explain import explain_transaction, format_cause
 from repro.observability.export import (
+    commit_group_stats_to_registry,
     replication_stats_to_registry,
     report_to_registry,
     scheme_metrics_to_registry,
@@ -50,6 +51,7 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "commit_group_stats_to_registry",
     "explain_transaction",
     "format_cause",
     "parse_prometheus",

@@ -80,6 +80,30 @@ _EVENT_LINES = {
     "commit.decide.deliver": "decision {decision} delivered to site {site}",
     "commit.inquiry": "recovery inquiry from {site} answered {answer}",
     "commit.recovery_inquiry": "site {site} restarted in-doubt, inquiring",
+    "commit.group.vote_logged": (
+        "YES vote of site {site} logged at coordinator replica {replica}"
+    ),
+    "commit.group.chosen": (
+        "commit group durably chose {decision} (quorum of accepts)"
+    ),
+    "commit.group.takeover": (
+        "coordinator replica {replica} started a takeover round"
+    ),
+    "commit.group.presume_abort": (
+        "takeover saw {votes}/{expected} quorum-logged votes: "
+        "presumed ABORT"
+    ),
+    "commit.group.resolve": (
+        "in-doubt site {site} terminated by {replica}: {decision}"
+    ),
+    "commit.group.overruled": (
+        "GTM verdict {verdict} overruled: quorum had chosen {chosen}"
+    ),
+    "commit.group.crash": "coordinator replica {replica} crashed",
+    "commit.group.restart": "coordinator replica {replica} restarted",
+    "commit.group.partition": (
+        "leader replica {replica} + GTM partitioned until t={until}"
+    ),
 }
 
 

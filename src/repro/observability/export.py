@@ -86,6 +86,21 @@ def commit_stats_to_registry(
     return out
 
 
+def commit_group_stats_to_registry(
+    stats: Any, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Publish a ``CommitGroupStats`` as one ``commit_group.<field>``
+    counter each, plus the ``commit_group.quorum_rtt`` histogram of
+    vote/decision quorum round-trip times."""
+    out = registry if registry is not None else MetricsRegistry()
+    for name, value in stats.as_rows():
+        out.counter(f"commit_group.{name}").inc(value)
+    rtt = out.histogram("commit_group.quorum_rtt", TIME_BUCKETS)
+    for value in stats.quorum_rtts:
+        rtt.observe(value)
+    return out
+
+
 def replication_stats_to_registry(
     stats: Any, registry: Optional[MetricsRegistry] = None
 ) -> MetricsRegistry:
@@ -144,6 +159,13 @@ def report_to_registry(
         latency = out.histogram("commit.latency_ms", TIME_BUCKETS)
         for value in report.commit_latencies:
             latency.observe(value)
+        # worst in-doubt window as a gauge (gauge merge keeps the max),
+        # so CI can compare group sizes head-to-head from parsed text
+        worst = out.gauge("commit.indoubt_max")
+        worst.set(max([worst.value, *report.in_doubt_times]))
+    if getattr(report, "commit_group", None) is not None:
+        commit_group_stats_to_registry(report.commit_group, out)
+        out.gauge("commit_group.size").set(report.commit_group_size)
     if getattr(report, "replication", None) is not None:
         replication_stats_to_registry(report.replication, out)
         out.counter("replication.snapshot_committed").inc(

@@ -58,7 +58,8 @@ from repro.workloads.generator import WorkloadConfig, WorkloadGenerator
 
 
 def build_atomic_simulator(seed, injector=None, scheme_name="scheme2",
-                           config=None, global_txns=6, local_txns=8):
+                           config=None, global_txns=6, local_txns=8,
+                           commit_group_size=0):
     """A 3-site simulator with ``atomic_commit=True`` (mirrors the
     fault-injection test helper)."""
     workload = WorkloadGenerator(WorkloadConfig(sites=3, seed=seed))
@@ -75,6 +76,7 @@ def build_atomic_simulator(seed, injector=None, scheme_name="scheme2",
         injector=injector,
         scheme_factory=lambda: make_scheme(scheme_name),
         atomic_commit=True,
+        commit_group_size=commit_group_size,
     )
     for index, program in enumerate(workload.global_batch(global_txns)):
         simulator.submit_global(program, at=index * 3.0)
@@ -516,3 +518,361 @@ class TestReplicatedPreparedRestart:
         assert report.snapshot_failed == 0
         assert report.scheme_waits == 0  # snapshot reads never WAIT
         assert simulator.atomicity_report().ok
+
+
+# ---------------------------------------------------------------------------
+# the replicated coordinator group (multi-shot commit)
+# ---------------------------------------------------------------------------
+class TestCoordinatorGroup:
+    """Unit tests of the consensus core, driven on a bare event loop."""
+
+    def make_group(self, size=3):
+        from repro.commit import CoordinatorGroup
+        from repro.mdbs.events import EventLoop
+
+        loop = EventLoop()
+        return CoordinatorGroup(size, loop), loop
+
+    def test_group_needs_at_least_one_replica(self):
+        from repro.commit import CoordinatorGroup
+        from repro.mdbs.events import EventLoop
+
+        with pytest.raises(CommitProtocolError):
+            CoordinatorGroup(0, EventLoop())
+
+    def test_gtm_fast_path_chooses_in_one_round_trip(self):
+        group, loop = self.make_group(3)
+        chosen = []
+        group.propose("G1", True, on_chosen=chosen.append)
+        loop.run(until=10.0)
+        assert chosen == [True]
+        assert group.chosen == {"G1": True}
+        # ballot 0 skipped phase 1: exactly one quorum round-trip
+        assert group.stats.decision_quorums == 1
+        assert all(r.learned.get("G1") is True for r in group.replicas)
+
+    def test_vote_quorum_makes_vote_durable(self):
+        group, loop = self.make_group(3)
+        group.broadcast_vote("G1", "s0", ("s0", "s1"))
+        loop.run(until=10.0)
+        assert group.vote_durable("G1", "s0")
+        assert group.stats.vote_quorums == 1
+        # every replica holds the vote (all three were up)
+        assert all("s0" in r.votes.get("G1", set()) for r in group.replicas)
+
+    def test_takeover_adopts_quorum_logged_commit(self):
+        """All expected votes are quorum-visible and the GTM is gone:
+        the recovery round must compute COMMIT, not presume abort."""
+        group, loop = self.make_group(3)
+        group.broadcast_vote("G1", "s0", ("s0", "s1"))
+        group.broadcast_vote("G1", "s1", ("s0", "s1"))
+        loop.run(until=10.0)
+        assert group.maybe_takeover(0, "G1")
+        loop.run(until=30.0)
+        assert group.chosen == {"G1": True}
+        assert group.stats.takeovers == 1
+        assert group.stats.presumed_aborts == 0
+
+    def test_takeover_presumes_abort_for_missing_votes(self):
+        """Only one of two expected votes ever reached the group: the
+        recovery round cannot know the other site voted YES, so it must
+        presume ABORT (the undurable vote is safe to discard)."""
+        group, loop = self.make_group(3)
+        group.broadcast_vote("G1", "s0", ("s0", "s1"))
+        loop.run(until=10.0)
+        assert group.maybe_takeover(0, "G1")
+        loop.run(until=40.0)
+        assert group.chosen == {"G1": False}
+        assert group.stats.presumed_aborts == 1
+
+    def test_takeover_yields_to_a_reachable_lower_rank(self):
+        group, loop = self.make_group(3)
+        group.broadcast_vote("G1", "s0", ("s0",))
+        loop.run(until=10.0)
+        # rank 0 is up, so rank 2 must not start a recovery round
+        assert not group.maybe_takeover(2, "G1")
+        group.crash_replica(0)
+        group.crash_replica(1)
+        # now rank 2 is the lowest reachable replica... but a quorum of
+        # 3 needs 2 acceptors, so the round stalls until a restart
+        assert group.maybe_takeover(2, "G1")
+        loop.run(until=100.0)
+        assert "G1" not in group.chosen
+        group.restart_replica(1)
+        loop.run(until=2000.0)
+        # the restored quorum sees every expected vote: COMMIT adopted
+        assert group.chosen == {"G1": True}
+
+    def test_single_replica_group_blocks_until_restart(self):
+        """The size-1 baseline: decision durability needs the lone
+        replica, so a crash in the decide window stalls the proposal
+        exactly until the restart — the blocking 2PC behaviour the
+        2f+1 group exists to remove."""
+        group, loop = self.make_group(1)
+        group.crash_replica(0)
+        chosen = []
+        group.propose("G1", True, on_chosen=chosen.append)
+        loop.run(until=500.0)
+        assert chosen == []
+        group.restart_replica(0)
+        loop.run(until=2000.0)
+        assert chosen == [True]
+
+    def test_conflicting_proposals_choose_exactly_one_value(self):
+        """The GTM races an abort against a takeover that sees the full
+        vote set: consensus may pick either value, but every learner and
+        both proposers observe the same one."""
+        group, loop = self.make_group(3)
+        group.broadcast_vote("G1", "s0", ("s0",))
+        loop.run(until=10.0)
+        outcomes = []
+        group.propose("G1", False, on_chosen=lambda v: outcomes.append(("gtm", v)))
+        group.maybe_takeover(0, "G1")
+        loop.run(until=5000.0)
+        assert "G1" in group.chosen
+        value = group.chosen["G1"]
+        assert ("gtm", value) in outcomes
+        assert group.stats.decision_conflicts == 0
+        learned = {r.learned.get("G1") for r in group.replicas if "G1" in r.learned}
+        assert learned == {value}
+
+    def test_quorum_decision_log_reports_outcomes(self):
+        from repro.commit import QuorumDecisionLog
+
+        group, loop = self.make_group(3)
+        log = QuorumDecisionLog(group)
+        durable = []
+        log.log_commit("G1", durable.append)
+        log.log_abort("G2", durable.append)
+        loop.run(until=20.0)
+        assert sorted(durable) == [False, True]
+        assert log.outcome("G1") is True
+        assert log.outcome("G2") is False
+        assert log.outcome("G3") is None
+        assert log.commit_decisions() == ("G1",)
+
+
+class TestFaultPlanCommitGroupSurface:
+    def test_from_mapping_builds_commit_group_scenarios(self):
+        from repro.faults import ReplicaCrash, VoteDecidePartition
+
+        plan = FaultPlan.from_mapping(
+            {
+                "seed": 4,
+                "crash_coordinator_replica": [
+                    {"replica": 1, "after_votes": 2, "downtime": 50.0}
+                ],
+                "vote_decide_partitions": [{"after_votes": 1}],
+            }
+        )
+        assert plan.crash_coordinator_replica == (
+            ReplicaCrash(replica=1, after_votes=2, downtime=50.0),
+        )
+        assert plan.vote_decide_partitions == (
+            VoteDecidePartition(after_votes=1),
+        )
+
+    def test_from_mapping_rejects_unknown_nested_fields(self):
+        """Satellite: a typo inside a scenario mapping fails fast with
+        the valid field names, instead of a bare TypeError."""
+        with pytest.raises(FaultConfigError) as excinfo:
+            FaultPlan.from_mapping(
+                {
+                    "crash_coordinator_replica": [
+                        {"replica": 0, "after_vote": 1}
+                    ]
+                }
+            )
+        message = str(excinfo.value)
+        assert "after_vote" in message
+        assert "after_votes" in message  # the valid fields are listed
+        assert "ReplicaCrash" in message
+
+    def test_from_mapping_rejects_unknown_legacy_nested_fields(self):
+        """The keyword validation extends to the pre-existing scenario
+        dataclasses too."""
+        with pytest.raises(FaultConfigError) as excinfo:
+            FaultPlan.from_mapping(
+                {"site_crashes": [{"site": "s0", "att": 30.0}]}
+            )
+        assert "att" in str(excinfo.value)
+        assert "SiteCrash" in str(excinfo.value)
+
+    def test_random_plan_with_group_faults_extends_legacy_plan(self):
+        sites = ("s0", "s1", "s2")
+        legacy = FaultPlan.random(9, sites, prepare_crash_count=2)
+        extended = FaultPlan.random(
+            9,
+            sites,
+            prepare_crash_count=2,
+            coordinator_crash_count=2,
+            vote_decide_partition_count=1,
+            commit_group_size=3,
+        )
+        # the new draws come after all legacy draws
+        assert extended.gtm_crashes == legacy.gtm_crashes
+        assert extended.site_crashes == legacy.site_crashes
+        assert extended.crash_after_prepare == legacy.crash_after_prepare
+        assert len(extended.crash_coordinator_replica) == 2
+        # the first drawn replica crash always hits the initial leader
+        assert extended.crash_coordinator_replica[0].replica == 0
+        for crash in extended.crash_coordinator_replica:
+            assert 0 <= crash.replica < 3
+            assert 1 <= crash.after_votes <= 3
+        assert len(extended.vote_decide_partitions) == 1
+
+
+class TestCommitGroupRuns:
+    def coordinator_crash_plan(self, seed, downtime=400.0):
+        from repro.faults import ReplicaCrash
+
+        return FaultPlan(
+            seed=seed,
+            crash_coordinator_replica=(
+                ReplicaCrash(replica=0, after_votes=1, downtime=downtime),
+            ),
+        )
+
+    def test_group_quiet_run_matches_legacy_outcomes(self):
+        """With no faults the group changes latencies (votes and
+        decisions each cost a quorum round-trip) but no outcomes."""
+        legacy = build_atomic_simulator(
+            seed=11, injector=FaultInjector(FaultPlan.quiet(seed=11))
+        ).run()
+        grouped_sim = build_atomic_simulator(
+            seed=11,
+            injector=FaultInjector(FaultPlan.quiet(seed=11)),
+            commit_group_size=3,
+        )
+        grouped = grouped_sim.run()
+        assert grouped.committed_global == legacy.committed_global
+        assert grouped.failed_global == legacy.failed_global
+        assert grouped.commit_group_size == 3
+        assert grouped.commit_group.vote_quorums > 0
+        assert grouped.commit_group.decision_quorums > 0
+        assert grouped_sim.decision_uniqueness_report().ok
+        assert grouped_sim.atomicity_report().ok
+
+    def test_coordinator_crash_blocks_singleton_not_group(self):
+        """The acceptance scenario: the decision-log replica crashes
+        after the first YES vote.  With one replica the in-doubt window
+        tracks its downtime; with 2f+1 = 3 it stays at protocol
+        timescales (a handful of message delays), with no coordinator
+        restart needed to terminate."""
+        blocked = build_atomic_simulator(
+            seed=11,
+            injector=FaultInjector(self.coordinator_crash_plan(11)),
+            commit_group_size=1,
+        )
+        blocked_report = blocked.run()
+        grouped = build_atomic_simulator(
+            seed=11,
+            injector=FaultInjector(self.coordinator_crash_plan(11)),
+            commit_group_size=3,
+        )
+        grouped_report = grouped.run()
+        assert blocked_report.committed_global == 6
+        assert grouped_report.committed_global == 6
+        worst_blocked = max(blocked_report.in_doubt_times)
+        worst_grouped = max(grouped_report.in_doubt_times)
+        assert worst_blocked >= 400.0  # waited out the crash
+        assert worst_grouped < 20.0  # a few message delays, no restart
+        assert grouped_report.commit_group.replica_crashes == 1
+        for simulator in (blocked, grouped):
+            assert simulator.decision_uniqueness_report().ok
+            assert simulator.atomicity_report().ok
+
+    def test_partition_terminates_through_takeover(self):
+        """Leader + GTM on the minority side between vote and decision:
+        the surviving majority terminates in-doubt participants through
+        a takeover round, before the partition heals."""
+        from repro.faults import VoteDecidePartition
+
+        plan = FaultPlan(
+            seed=7,
+            vote_decide_partitions=(
+                VoteDecidePartition(after_votes=1, duration=250.0),
+            ),
+        )
+        simulator = build_atomic_simulator(
+            seed=7, injector=FaultInjector(plan), commit_group_size=3
+        )
+        report = simulator.run()
+        assert report.committed_global == 6
+        assert report.commit_group.partitions == 1
+        assert report.commit_group.takeovers >= 1
+        assert simulator.decision_uniqueness_report().ok
+        assert simulator.atomicity_report().ok
+
+    def test_open_in_doubt_windows_flush_at_simulation_end(self):
+        """Satellite: a run cut off while a participant is still in
+        doubt reports the open window in ``in_doubt_times`` instead of
+        silently dropping it."""
+        simulator = build_atomic_simulator(
+            seed=11,
+            injector=FaultInjector(
+                self.coordinator_crash_plan(11, downtime=100_000.0)
+            ),
+            config=SimulationConfig(horizon=200.0),
+            commit_group_size=1,
+        )
+        report = simulator.run()
+        assert report.commit_stats.in_doubt_open_at_end > 0
+        open_windows = report.in_doubt_times[
+            len(report.in_doubt_times)
+            - report.commit_stats.in_doubt_open_at_end:
+        ]
+        assert open_windows
+        assert all(window > 0.0 for window in open_windows)
+
+    def test_replica_supplies_terminating_decision_when_gtm_is_gone(self):
+        """The non-blocking core, at participant level: the GTM never
+        answers, but the quorum-logged votes let a takeover adopt COMMIT
+        and a replica inquiry terminates the in-doubt window."""
+        from repro.commit import CommitParticipant, CoordinatorGroup
+        from repro.commit.model import CommitStats
+        from repro.mdbs.events import EventLoop
+        from repro.observability import Tracer, explain_transaction
+        from repro.schedules.model import (
+            begin as begin_op_,
+            write as write_op_,
+        )
+
+        loop = EventLoop()
+        tracer = Tracer()
+        group = CoordinatorGroup(3, loop, tracer=tracer)
+        stats = CommitStats()
+        db = LocalDBMS("s0", make_protocol("strict-2pl"))
+        participant = CommitParticipant(
+            "s0",
+            db,
+            loop,
+            CommitPolicy(),
+            stats,
+            coordinator_resolver=lambda incarnation: None,
+            replica_resolvers=tuple(
+                (
+                    f"replica-{rank}",
+                    lambda incarnation, r=rank: group.inquire(
+                        r, incarnation
+                    ),
+                )
+                for rank in range(3)
+            ),
+            vote_broadcast=lambda incarnation: group.broadcast_vote(
+                incarnation, "s0", ("s0",)
+            ),
+            tracer=tracer,
+        )
+        db.submit(begin_op_("G1", "s0"), lambda *args: None)
+        db.submit(write_op_("G1", "x", "s0"), lambda *args: None)
+        assert participant.on_prepare("G1") is True
+        loop.run(until=2000.0)
+        assert participant.open_in_doubt(loop.now) == ()
+        assert group.chosen == {"G1": True}
+        assert stats.resolved_by_replica == 1
+        assert db.history.outcome_of("G1") is not None
+        # --explain names the replica that supplied the decision
+        explanation = explain_transaction(tracer.spans, "G1")
+        assert "terminated by replica-" in explanation
+        assert "takeover" in explanation

@@ -1,6 +1,8 @@
 """Property-based recovery tests: for random traces, random crash
 points, and every scheme, the crash-recovered run is indistinguishable
-from the uninterrupted one."""
+from the uninterrupted one — and for random fault plans against the
+replicated commit group, prepared participants are never torn between
+a unilateral abort and a quorum-chosen commit."""
 
 import hypothesis.strategies as st
 from hypothesis import given, settings
@@ -9,6 +11,7 @@ from repro.core import Scheme0, Scheme1, Scheme2, Scheme3
 from repro.core.engine import Engine
 from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.recovery import Journal, recover_engine
+from repro.faults import FaultInjector, FaultPlan
 
 
 @st.composite
@@ -122,3 +125,60 @@ class TestRecoveryProperty:
             engine_ref[0].run()
         engine_ref[0].assert_drained()
         assert submissions == reference
+
+
+@st.composite
+def commit_fault_plans(draw):
+    """A random commit-group fault plan: coordinator-replica crashes
+    and vote/decide partitions always present (they are the scenarios
+    under test), message faults and GTM/site crashes mixed in."""
+    seed = draw(st.integers(0, 10_000))
+    return seed, dict(
+        loss_rate=draw(st.sampled_from([0.0, 0.05, 0.10])),
+        duplication_rate=draw(st.sampled_from([0.0, 0.05])),
+        delay_rate=draw(st.sampled_from([0.0, 0.10])),
+        gtm_crash_count=draw(st.integers(0, 1)),
+        site_crash_count=draw(st.integers(0, 1)),
+        downtime=draw(st.sampled_from([25.0, 100.0, 300.0])),
+        coordinator_crash_count=draw(st.integers(1, 2)),
+        vote_decide_partition_count=draw(st.integers(0, 2)),
+        commit_group_size=3,
+    )
+
+
+class TestCommitGroupProperty:
+    """Satellite: under random fault plans with atomic commit and a
+    2f+1 coordinator group, a participant that voted YES never
+    unilaterally aborts, and never holds in-doubt state once a quorum
+    of replicas is reachable (every downtime and partition in a plan
+    is finite, so by simulation end a quorum is always back)."""
+
+    @given(commit_fault_plans())
+    @settings(max_examples=15, deadline=None)
+    def test_yes_voters_terminate_without_unilateral_aborts(self, drawn):
+        from tests.test_atomic_commit import build_atomic_simulator
+
+        seed, knobs = drawn
+        plan = FaultPlan.random(seed, ["s0", "s1", "s2"], **knobs)
+        simulator = build_atomic_simulator(
+            seed=seed, injector=FaultInjector(plan), commit_group_size=3
+        )
+        report = simulator.run()
+
+        # no unilateral aborts: a prepared (YES-voting) participant may
+        # only terminate by coordinator-group decision.  Ground truth is
+        # the uniqueness report — a unilateral abort of a chosen-COMMIT
+        # incarnation would surface as a site-history contradiction —
+        # plus the direct counters: no site ever refused a COMMIT
+        # decision it voted YES for.
+        decisions = simulator.decision_uniqueness_report()
+        assert decisions.ok, decisions.violations
+        assert report.commit_stats.decide_commit_nacks == 0
+        atomicity = simulator.atomicity_report()
+        assert atomicity.ok, atomicity.violations
+
+        # no lingering in-doubt state: quorum reachable at end (all
+        # crashes/partitions healed) means every window closed.
+        assert report.commit_stats.in_doubt_open_at_end == 0
+        for participant in simulator.participants.values():
+            assert participant.open_in_doubt(simulator.loop.now) == ()
