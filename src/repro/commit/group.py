@@ -272,13 +272,23 @@ class CoordinatorGroup:
                 return
             if origin_up is not None and not origin_up():
                 return
-            state = {"done": False, "acks": 0}
+            state = {"done": False}
+            # quorum counting is by *distinct replica rank*: the network
+            # may duplicate any leg, and two copies of one replica's ack
+            # must never pass for two replicas
+            acked_ranks: Set[int] = set()
+            delivered_ranks: Set[int] = set()
             started = self.loop.now
             for replica in self.replicas:
 
                 def deliver(replica: CoordinatorReplica = replica) -> None:
                     if not self.reachable(replica.rank):
                         return
+                    if replica.rank in delivered_ranks:
+                        # duplicated request copy: the first delivery
+                        # already scheduled this replica's ack legs
+                        return
+                    delivered_ranks.add(replica.rank)
                     if replica.log_vote(incarnation, site, site_list):
                         self.stats.votes_logged += 1
                         if self.tracer is not None:
@@ -293,11 +303,11 @@ class CoordinatorGroup:
                                 replica.rank, replica.votes_logged
                             )
 
-                    def acked() -> None:
+                    def acked(rank: int = replica.rank) -> None:
                         if state["done"] or key in self._vote_durable:
                             return
-                        state["acks"] += 1
-                        if state["acks"] >= self.quorum:
+                        acked_ranks.add(rank)
+                        if len(acked_ranks) >= self.quorum:
                             state["done"] = True
                             self._vote_durable.add(key)
                             self.stats.vote_quorums += 1
@@ -425,6 +435,10 @@ class CoordinatorGroup:
         promises: List[
             Tuple[Optional[Tuple[int, bool]], Set[str], Tuple[str, ...]]
         ] = []
+        # one promise per *distinct replica rank*: duplicated promise
+        # copies must not pad a quorum out of a minority of replicas
+        promised_ranks: Set[int] = set()
+        delivered_ranks: Set[int] = set()
 
         def quorum_promised() -> None:
             value = self._select_value(incarnation, decision, promises)
@@ -437,6 +451,9 @@ class CoordinatorGroup:
             def deliver(replica: CoordinatorReplica = replica) -> None:
                 if not self.reachable(replica.rank):
                     return
+                if replica.rank in delivered_ranks:
+                    return
+                delivered_ranks.add(replica.rank)
                 promise = replica.on_prepare(incarnation, ballot)
                 if promise is None:
                     return
@@ -447,9 +464,13 @@ class CoordinatorGroup:
                         Set[str],
                         Tuple[str, ...],
                     ] = promise,
+                    rank: int = replica.rank,
                 ) -> None:
                     if state["done"] or not proposer_ok():
                         return
+                    if rank in promised_ranks:
+                        return
+                    promised_ranks.add(rank)
                     promises.append(promise)
                     if len(promises) >= self.quorum:
                         state["done"] = True
@@ -503,23 +524,34 @@ class CoordinatorGroup:
         proposer_ok: Callable[[], bool],
         notify: Callable[[bool], None],
     ) -> None:
-        state = {"done": False, "acks": 0}
+        state = {"done": False}
+        # accept acks count by *distinct replica rank*: a value is chosen
+        # only once a true majority of replicas accepted it, however many
+        # duplicated copies of any single ack the network delivers
+        acked_ranks: Set[int] = set()
+        delivered_ranks: Set[int] = set()
         for replica in self.replicas:
 
             def deliver(replica: CoordinatorReplica = replica) -> None:
                 if not self.reachable(replica.rank):
                     return
+                if replica.rank in delivered_ranks:
+                    return
+                delivered_ranks.add(replica.rank)
                 if not replica.on_accept(incarnation, ballot, value):
                     return
 
-                def acked() -> None:
+                def acked(rank: int = replica.rank) -> None:
                     if state["done"] or not proposer_ok():
                         return
-                    state["acks"] += 1
-                    if state["acks"] >= self.quorum:
+                    acked_ranks.add(rank)
+                    if len(acked_ranks) >= self.quorum:
                         state["done"] = True
                         self._choose(incarnation, value, started)
-                        notify(value)
+                        # the authoritative outcome: _choose keeps an
+                        # earlier chosen value, so never hand on_durable
+                        # this round's losing proposal
+                        notify(self.chosen[incarnation])
 
                 self._legs(acked)
 

@@ -286,6 +286,11 @@ class MDBSSimulator:
             tracer=tracer,
         )
         self._runtimes: Dict[str, _GlobalRuntime] = {}
+        #: durable incarnation → expected-site record: outlives the
+        #: runtime entry so a restarted participant's vote re-broadcast
+        #: still announces the full site set (a takeover quorum that
+        #: never learns it would presume abort on a fully-voted txn)
+        self._incarnation_sites: Dict[str, Tuple[str, ...]] = {}
         self._stats: Dict[str, TransactionStats] = {}
         self._restart_count: Dict[str, int] = {}
         self._programs: Dict[str, GlobalProgram] = {}
@@ -995,6 +1000,7 @@ class MDBSSimulator:
             last_progress=self.loop.now,
         )
         self._runtimes[incarnation] = runtime
+        self._incarnation_sites[incarnation] = program.sites
         self._stats[logical].restarts = count
         if self.coordinator is not None:
             self.coordinator.begin_voting(incarnation)
@@ -1412,10 +1418,10 @@ class MDBSSimulator:
         """Multi-shot commit: fan a participant's YES vote out to every
         coordinator replica so the vote is quorum-logged, not held by a
         single coordinator."""
-        runtime = self._runtimes.get(incarnation)
-        sites: Tuple[str, ...] = (
-            runtime.program.sites if runtime is not None else ()
-        )
+        # the durable record, not the live runtime: a restarted
+        # participant re-broadcasts after _maybe_complete removed the
+        # runtime, and the replicas still need the full expected set
+        sites = self._incarnation_sites.get(incarnation, ())
         self.commit_group.broadcast_vote(
             incarnation,
             site,

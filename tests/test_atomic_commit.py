@@ -526,12 +526,12 @@ class TestReplicatedPreparedRestart:
 class TestCoordinatorGroup:
     """Unit tests of the consensus core, driven on a bare event loop."""
 
-    def make_group(self, size=3):
+    def make_group(self, size=3, fate=None):
         from repro.commit import CoordinatorGroup
         from repro.mdbs.events import EventLoop
 
         loop = EventLoop()
-        return CoordinatorGroup(size, loop), loop
+        return CoordinatorGroup(size, loop, fate=fate), loop
 
     def test_group_needs_at_least_one_replica(self):
         from repro.commit import CoordinatorGroup
@@ -635,6 +635,76 @@ class TestCoordinatorGroup:
         assert group.stats.decision_conflicts == 0
         learned = {r.learned.get("G1") for r in group.replicas if "G1" in r.learned}
         assert learned == {value}
+
+    # -- quorums count distinct replicas, not delivered copies ----------
+    DUPLICATE_EVERYTHING = staticmethod(lambda: (0.0, 0.0))
+
+    def test_duplicated_acks_do_not_fake_a_decision_quorum(self):
+        """Regression: the network duplicates every leg and only one of
+        three replicas is reachable.  Two copies of that replica's
+        accept ack must not pass for a majority — no value may be
+        chosen until a real majority is back."""
+        group, loop = self.make_group(3, fate=self.DUPLICATE_EVERYTHING)
+        group.crash_replica(1)
+        group.crash_replica(2)
+        chosen = []
+        group.propose("G1", True, on_chosen=chosen.append)
+        loop.run(until=500.0)
+        assert chosen == []
+        assert "G1" not in group.chosen
+        group.restart_replica(1)
+        loop.run(until=10_000.0)
+        # the healed majority makes the pending proposal durable
+        assert group.chosen == {"G1": True}
+        assert group.stats.decision_conflicts == 0
+
+    def test_duplicated_acks_do_not_fake_a_vote_quorum(self):
+        group, loop = self.make_group(3, fate=self.DUPLICATE_EVERYTHING)
+        group.crash_replica(1)
+        group.crash_replica(2)
+        group.broadcast_vote("G1", "s0", ("s0",))
+        loop.run(until=10_000.0)
+        assert not group.vote_durable("G1", "s0")
+        assert group.stats.vote_quorums == 0
+
+    def test_duplicated_promises_do_not_fake_a_prepare_quorum(self):
+        """A takeover at the lone reachable replica must stall, not
+        build a prepare quorum out of its own duplicated promise and
+        presume abort behind the majority's back."""
+        group, loop = self.make_group(3, fate=self.DUPLICATE_EVERYTHING)
+        group.broadcast_vote("G1", "s0", ("s0",))
+        loop.run(until=10.0)
+        assert group.vote_durable("G1", "s0")  # all three were up
+        group.crash_replica(1)
+        group.crash_replica(2)
+        assert group.maybe_takeover(0, "G1")
+        loop.run(until=500.0)
+        assert "G1" not in group.chosen
+        assert group.stats.presumed_aborts == 0
+
+    def test_duplication_with_a_full_group_still_chooses(self):
+        group, loop = self.make_group(3, fate=self.DUPLICATE_EVERYTHING)
+        chosen = []
+        group.propose("G1", True, on_chosen=chosen.append)
+        group.broadcast_vote("G2", "s0", ("s0",))
+        loop.run(until=50.0)
+        assert chosen == [True]
+        assert group.vote_durable("G2", "s0")
+
+    def test_accept_round_notifies_the_authoritative_value(self):
+        """White-box: if an accept round completes for a value that
+        lost to an already-chosen one (only reachable once consensus
+        safety is already broken), ``on_durable`` must hear the
+        authoritative decision, never the losing proposal."""
+        group, loop = self.make_group(3)
+        group.chosen["G1"] = False
+        heard = []
+        group._accept_round(
+            "G1", 0, True, loop.now, lambda: True, heard.append
+        )
+        loop.run(until=10.0)
+        assert heard == [False]
+        assert group.stats.decision_conflicts == 1
 
     def test_quorum_decision_log_reports_outcomes(self):
         from repro.commit import QuorumDecisionLog
@@ -824,6 +894,25 @@ class TestCommitGroupRuns:
         ]
         assert open_windows
         assert all(window > 0.0 for window in open_windows)
+
+    def test_vote_rebroadcast_announces_sites_without_a_live_runtime(self):
+        """Regression: a participant restart can re-broadcast a durable
+        prepared vote after ``_maybe_complete`` removed the runtime.
+        The broadcast must still announce the full expected site set
+        (from the durable per-incarnation record) or a takeover quorum
+        first hearing it would presume abort on a fully-voted txn."""
+        simulator = build_atomic_simulator(seed=11, commit_group_size=3)
+        sites = ("s0", "s1")
+        simulator._incarnation_sites["GX"] = sites
+        assert "GX" not in simulator._runtimes
+        simulator._broadcast_vote("GX", "s0")
+        simulator.loop.run(until=50.0)
+        group = simulator.commit_group
+        assert group.vote_durable("GX", "s0")
+        assert all(
+            replica.expected.get("GX") == sites
+            for replica in group.replicas
+        )
 
     def test_replica_supplies_terminating_decision_when_gtm_is_gone(self):
         """The non-blocking core, at participant level: the GTM never
