@@ -43,8 +43,20 @@ def make_specs(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     experiment: str = "E4",
     fast_paths: bool = True,
+    transport: str = "sim",
+    workers: int = 1,
+    groups: int = 1,
 ) -> List[Dict[str, Any]]:
-    """The cell grid, in the fixed order results are merged back in."""
+    """The cell grid, in the fixed order results are merged back in.
+
+    ``transport``/``workers`` pick the runtime an E4 cell executes on
+    (:mod:`repro.transport`); ``groups`` > 1 runs the *grouped* E4
+    workload — ``groups`` independent 4-site clusters, the site-disjoint
+    shape the parallel transport partitions — with ``mpl`` as the total
+    multiprogramming level across groups.  All three are recorded in the
+    cell so runs on different runtimes or workload shapes are never
+    compared against each other (see :func:`_cell_key`).
+    """
     return [
         {
             "experiment": experiment,
@@ -52,6 +64,9 @@ def make_specs(
             "mpl": int(mpl),
             "seed": int(seed),
             "fast_paths": bool(fast_paths),
+            "transport": transport,
+            "workers": int(workers),
+            "groups": int(groups),
         }
         for scheme in schemes
         for mpl in mpl_values
@@ -70,13 +85,21 @@ def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
     fastpath.set_enabled(spec.get("fast_paths", True))
     try:
         started = time.perf_counter()
+        transport_result = None
         if spec["experiment"] == "E11":
-            report = _run_e11_cell(spec)
+            chaos = _run_e11_cell(spec)
+            report, wall_s = chaos.report, chaos.wall_s
         elif spec["experiment"] == "E13":
-            report = _run_e13_cell(spec)
+            chaos = _run_e13_cell(spec)
+            report, wall_s = chaos.report, chaos.wall_s
         else:
-            report = _run_e4_cell(spec)
-        wall_s = time.perf_counter() - started
+            transport_result = _run_e4_cell(spec)
+            report = transport_result.report
+            # measured inside this worker by the transport, covering the
+            # dispatch, the run(s), and the merged verification
+            wall_s = transport_result.wall_s
+        if wall_s <= 0:
+            wall_s = time.perf_counter() - started
     finally:
         fastpath.set_enabled(previous)
     result = dict(spec)
@@ -96,43 +119,84 @@ def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
         wake_retries_skipped=report.wake_retries_skipped,
         indoubt_max=max(report.in_doubt_times or (0.0,)),
     )
+    if transport_result is not None:
+        result.update(
+            shards=transport_result.shards,
+            cpu_s=transport_result.cpu_s,
+            critical_path_s=transport_result.critical_path_s,
+            agg_events_per_sec=transport_result.agg_events_per_sec,
+        )
     return result
 
 
-def _run_e4_cell(spec: Dict[str, Any]):
-    """One E4 throughput cell: the grid point of
-    benchmarks/test_bench_throughput.py, verified against ground truth."""
-    from repro.core import make_scheme
-    from repro.lmdbs import LocalDBMS, make_protocol
-    from repro.mdbs import (
-        MDBSSimulator,
-        SimulationConfig,
-        assert_verified,
-    )
+def make_e4_job(
+    scheme: str, mpl: int, seed: int, groups: int = 1
+):
+    """The E4 workload as a transport job.
+
+    ``groups=1`` is the classic cell of
+    benchmarks/test_bench_throughput.py: four heterogeneous-protocol
+    sites, ``3*mpl`` global transactions admitted in three MPL-sized
+    waves.  ``groups>1`` replicates that shape into ``groups``
+    independent 4-site clusters with distinct site/transaction prefixes
+    (site-disjoint by construction, so the parallel transport shards it
+    ``groups`` ways); ``mpl`` is the *total* multiprogramming level and
+    each group gets ``mpl // groups`` of it, seeded per group so the
+    groups run distinct workloads.
+    """
+    from repro.mdbs import SimulationConfig
+    from repro.transport import SimulationJob
     from repro.workloads import WorkloadConfig, WorkloadGenerator
 
-    mpl, seed = spec["mpl"], spec["seed"]
-    cfg = WorkloadConfig(
-        sites=len(E4_PROTOCOLS),
-        items_per_site=12,
-        dav=2.0,
-        ops_per_site=2,
+    site_protocols: List[Any] = []
+    global_programs: List[Any] = []
+    per_mpl = max(1, mpl // groups)
+    for group in range(groups):
+        cfg = WorkloadConfig(
+            sites=len(E4_PROTOCOLS),
+            items_per_site=12,
+            dav=2.0,
+            ops_per_site=2,
+            seed=seed if groups == 1 else seed + 1009 * group,
+            site_prefix="s" if groups == 1 else f"g{group}s",
+            txn_prefix="G" if groups == 1 else f"g{group}G",
+            local_txn_prefix="L" if groups == 1 else f"g{group}L",
+        )
+        gen = WorkloadGenerator(cfg)
+        site_protocols.extend(zip(cfg.site_names, E4_PROTOCOLS))
+        for index, program in enumerate(gen.global_batch(3 * per_mpl)):
+            global_programs.append((program, (index // per_mpl) * 40.0))
+    return SimulationJob(
+        site_protocols=tuple(site_protocols),
+        scheme=scheme,
+        config=SimulationConfig(),
         seed=seed,
+        global_programs=tuple(global_programs),
     )
-    gen = WorkloadGenerator(cfg)
-    sites = {
-        site: LocalDBMS(site, make_protocol(protocol))
-        for site, protocol in zip(cfg.site_names, E4_PROTOCOLS)
-    }
-    sim = MDBSSimulator(
-        sites, make_scheme(spec["scheme"]), SimulationConfig(), seed=seed
+
+
+def _run_e4_cell(spec: Dict[str, Any]):
+    """One E4 throughput cell, executed on the spec's transport and
+    verified against ground truth (the merged schedules, for a sharded
+    run)."""
+    from repro.transport import make_transport
+
+    job = make_e4_job(
+        spec["scheme"],
+        spec["mpl"],
+        spec["seed"],
+        groups=spec.get("groups", 1),
     )
-    programs = gen.global_batch(3 * mpl)
-    for index, program in enumerate(programs):
-        sim.submit_global(program, at=(index // mpl) * 40.0)
-    report = sim.run()
-    assert_verified(sim.global_schedule(), sim.ser_schedule)
-    return report
+    transport = make_transport(
+        spec.get("transport", "sim"), workers=spec.get("workers", 1)
+    )
+    result = transport.run(job)
+    if not result.verification.ok:
+        raise RuntimeError(
+            f"E4 cell {spec!r} failed verification "
+            f"(cycle {result.verification.cycle})"
+        )
+    return result
 
 
 def _run_e11_cell(spec: Dict[str, Any]):
@@ -152,7 +216,7 @@ def _run_e11_cell(spec: Dict[str, Any]):
         raise RuntimeError(
             f"E11 cell {spec!r} failed: {result.failure_reasons()}"
         )
-    return result.report
+    return result
 
 
 def _run_e13_cell(spec: Dict[str, Any]):
@@ -187,7 +251,7 @@ def _run_e13_cell(spec: Dict[str, Any]):
         raise RuntimeError(
             f"E13 cell {spec!r} failed: {result.failure_reasons()}"
         )
-    return result.report
+    return result
 
 
 def run_grid(
@@ -241,17 +305,26 @@ def results_to_registry(results: Iterable[Dict[str, Any]], registry=None):
             cell["wake_retries_skipped"]
         )
         out.counter(f"{cell['scheme']}.cells").inc()
+        out.counter("transport.shards").inc(int(cell.get("shards", 1)))
         wall.observe(cell["wall_s"])
     return out
 
 
 def _cell_key(cell: Dict[str, Any]):
+    # transport and groups are part of the identity: a parallel cell and
+    # a sim cell (or grouped vs classic workloads) are different
+    # measurements and must never gate each other.  workers is NOT in
+    # the key — results are worker-count-invariant by construction, only
+    # wall-clock changes.  The .get defaults keep cells from
+    # pre-transport trajectory files comparable.
     return (
         cell.get("experiment", "E4"),
         cell["scheme"],
         cell["mpl"],
         cell["seed"],
         bool(cell.get("fast_paths", True)),
+        cell.get("transport", "sim"),
+        int(cell.get("groups", 1)),
     )
 
 

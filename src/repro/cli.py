@@ -339,28 +339,43 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     for name in args.schemes:
         _make_scheduler(name)  # validate early
-    specs = bench.make_specs(
-        schemes=args.schemes,
-        mpl_values=args.mpl,
-        seeds=[args.base_seed + offset for offset in range(args.seeds)],
-        experiment=args.experiment,
-        fast_paths=True,
-    )
-    if args.compare_legacy:
-        specs = specs + bench.make_specs(
-            schemes=args.schemes,
-            mpl_values=args.mpl,
-            seeds=[
-                args.base_seed + offset for offset in range(args.seeds)
-            ],
-            experiment=args.experiment,
-            fast_paths=False,
+    transports = list(dict.fromkeys(args.transport))
+    if "parallel" in transports and args.experiment != "E4":
+        raise SystemExit(
+            "--transport parallel only applies to the E4 throughput "
+            "grid; E11/E13 are chaos scenarios pinned to the "
+            "deterministic sim transport"
         )
-    workers = 1 if args.serial else args.workers
+    seeds = [args.base_seed + offset for offset in range(args.seeds)]
+    specs = []
+    for transport in transports:
+        transport_workers = args.workers if transport == "parallel" else 1
+        for fast_paths in (
+            (True, False) if args.compare_legacy else (True,)
+        ):
+            specs += bench.make_specs(
+                schemes=args.schemes,
+                mpl_values=args.mpl,
+                seeds=seeds,
+                experiment=args.experiment,
+                fast_paths=fast_paths,
+                transport=transport,
+                workers=transport_workers,
+                groups=args.groups,
+            )
+    if "parallel" in transports:
+        # nested-pool guard: the parallel transport owns the worker
+        # pool, so bench cells must run serially — forking a cell pool
+        # on top of per-cell shard pools would oversubscribe the host
+        # and deadlock-prone daemonic children
+        workers = 1
+    else:
+        workers = 1 if args.serial else args.workers
     results = bench.run_grid(specs, workers=workers)
     rows = [
         (
             "fast" if cell["fast_paths"] else "legacy",
+            cell.get("transport", "sim"),
             cell["scheme"],
             cell["mpl"],
             cell["seed"],
@@ -369,6 +384,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             round(cell["mean_response_time"], 1),
             round(cell["wall_s"], 3),
             round(cell["events_per_sec"]),
+            (
+                round(cell["agg_events_per_sec"])
+                if cell.get("agg_events_per_sec")
+                else "-"
+            ),
         )
         for cell in results
     ]
@@ -376,6 +396,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         render_table(
             (
                 "mode",
+                "transport",
                 "scheme",
                 "mpl",
                 "seed",
@@ -384,6 +405,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "mean rt",
                 "wall s",
                 "events/s",
+                "agg ev/s",
             ),
             rows,
             title=(
@@ -392,6 +414,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ),
         )
     )
+    for transport in transports:
+        cells = [
+            cell
+            for cell in results
+            if cell.get("transport", "sim") == transport
+        ]
+        total_events = sum(cell.get("events", 0) for cell in cells)
+        total_wall = sum(cell.get("wall_s", 0.0) for cell in cells)
+        print(
+            f"{transport}: {total_events} events in {total_wall:.3f}s "
+            f"wall ({total_events / total_wall:,.0f} events/s aggregate)"
+            if total_wall > 0
+            else f"{transport}: {total_events} events"
+        )
     if args.out:
         bench.emit_json(
             results,
@@ -403,6 +439,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "seeds": args.seeds,
                 "base_seed": args.base_seed,
                 "compare_legacy": bool(args.compare_legacy),
+                "transports": transports,
+                "groups": args.groups,
+                "workers": args.workers,
+                "aggregate": {
+                    transport: {
+                        "events": sum(
+                            cell.get("events", 0)
+                            for cell in results
+                            if cell.get("transport", "sim") == transport
+                        ),
+                        "wall_s": sum(
+                            cell.get("wall_s", 0.0)
+                            for cell in results
+                            if cell.get("transport", "sim") == transport
+                        ),
+                    }
+                    for transport in transports
+                },
             },
         )
         print(f"wrote {args.out}")
@@ -623,6 +677,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--serial", action="store_true", help="force single-process"
+    )
+    bench_parser.add_argument(
+        "--transport",
+        nargs="+",
+        choices=["sim", "parallel"],
+        default=["sim"],
+        help="which transport(s) to run each cell on: the deterministic "
+        "single-loop simulator and/or the sharded multiprocessing "
+        "runtime (E4 only; cells run serially when parallel is active "
+        "so the shard pool owns the cores)",
+    )
+    bench_parser.add_argument(
+        "--groups",
+        type=int,
+        default=1,
+        help="independent 4-site E4 clusters per cell; >1 makes the "
+        "workload site-disjoint so the parallel transport shards it",
     )
     bench_parser.add_argument(
         "--compare-legacy",

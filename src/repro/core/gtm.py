@@ -108,6 +108,44 @@ class GlobalProgram:
         )
 
 
+def site_components(
+    sites: Iterable[str], programs: Iterable[GlobalProgram]
+) -> List[Tuple[str, ...]]:
+    """Partition *sites* into connected components under the relation
+    "some global program touches both" — the sharding rule of the
+    parallel transport (:mod:`repro.transport`).
+
+    Two sites land in the same component exactly when a chain of global
+    transactions links them, so transactions of different components
+    never conflict — directly (they share no site, hence no item) or
+    indirectly (an indirect conflict needs a local transaction at a
+    *shared* site) — and every GTM scheme decides them independently.
+    Components are returned sorted by their smallest site name, each
+    with its sites sorted, so the partition is deterministic.
+    """
+    parent: Dict[str, str] = {site: site for site in sites}
+
+    def find(site: str) -> str:
+        root = site
+        while parent[root] != root:
+            root = parent[root]
+        while parent[site] != root:  # path compression
+            parent[site], site = root, parent[site]
+        return root
+
+    for program in programs:
+        touched = program.sites
+        for other in touched[1:]:
+            parent[find(other)] = find(touched[0])
+    groups: Dict[str, List[str]] = {}
+    for site in parent:
+        groups.setdefault(find(site), []).append(site)
+    return sorted(
+        (tuple(sorted(members)) for members in groups.values()),
+        key=lambda component: component[0],
+    )
+
+
 #: Serialization-function strategies GTM1 knows how to plan for.
 STRATEGY_BY_PROTOCOL = {
     "strict-2pl": "commit",

@@ -57,6 +57,12 @@ class Scheme3(ConservativeScheme):
     still charges the paper-model scan cost (Theorem 9's measure must not
     silently improve), while the real work saved is attributed to
     ``metrics.dfs_steps_avoided``.
+
+    ``shardable``: ``ser_bef(t)`` only ever acquires members that share
+    a site with ``t``, so decisions are site-component-local.  (The
+    *legacy* all-transactions scans still walk every transaction, so the
+    paper-model ``scheme_steps`` count — unlike the decisions — depends
+    on what else is co-resident; sharded step counts differ.)
     """
 
     name = "scheme3"

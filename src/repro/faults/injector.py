@@ -155,6 +155,9 @@ class FaultInjector:
         plan.validate()
         self.plan = plan
         self.rng = random.Random(plan.seed)
+        #: per-channel streams under ``plan.scoped_fates`` (lazily built;
+        #: string seeds hash deterministically in CPython's Random)
+        self._scoped_rngs: Dict[str, random.Random] = {}
         self.stats = FaultStats()
         self._sequence = itertools.count(1)
         self._channels: Dict[str, SiteChannel] = {}
@@ -179,40 +182,59 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # message faults
     # ------------------------------------------------------------------
-    def message_fate(self) -> Tuple[float, ...]:
+    def _rng_for(self, channel: Optional[str]) -> random.Random:
+        """The stream a draw comes from.  Legacy plans (and channel-less
+        draws) use the one shared stream; under ``plan.scoped_fates``
+        each named channel gets its own ``(seed, channel)``-keyed stream
+        so the draw sequence depends only on that channel's event order."""
+        if not self.plan.scoped_fates or channel is None:
+            return self.rng
+        rng = self._scoped_rngs.get(channel)
+        if rng is None:
+            rng = self._scoped_rngs[channel] = random.Random(
+                f"{self.plan.seed}/{channel}"
+            )
+        return rng
+
+    def message_fate(self, channel: Optional[str] = None) -> Tuple[float, ...]:
         """The fate of one message: a tuple of extra delays, one per
-        delivered copy; ``()`` means the message is lost."""
+        delivered copy; ``()`` means the message is lost.  *channel*
+        names the site whose link the message travels (used only by
+        scoped-fate plans to pick the RNG stream)."""
         config = self.plan.messages
         self.stats.messages_sent += 1
         if not config.any_enabled:
             return (0.0,)
-        if config.loss_rate and self.rng.random() < config.loss_rate:
+        rng = self._rng_for(channel)
+        if config.loss_rate and rng.random() < config.loss_rate:
             self.stats.messages_dropped += 1
             return ()
-        delays = [self._extra_delay()]
+        delays = [self._extra_delay(rng)]
         if (
             config.duplication_rate
-            and self.rng.random() < config.duplication_rate
+            and rng.random() < config.duplication_rate
         ):
             self.stats.messages_duplicated += 1
-            delays.append(self._extra_delay())
+            delays.append(self._extra_delay(rng))
         return tuple(delays)
 
-    def _extra_delay(self) -> float:
+    def _extra_delay(self, rng: random.Random) -> float:
         config = self.plan.messages
-        if config.delay_rate and self.rng.random() < config.delay_rate:
+        if config.delay_rate and rng.random() < config.delay_rate:
             self.stats.messages_delayed += 1
             extra = config.delay_scale * (
-                self.rng.paretovariate(config.delay_shape) - 1.0
+                rng.paretovariate(config.delay_shape) - 1.0
             )
             return min(extra, config.max_delay)
         return 0.0
 
-    def jitter(self, base: float, fraction: float) -> float:
+    def jitter(
+        self, base: float, fraction: float, channel: Optional[str] = None
+    ) -> float:
         """Deterministic jitter draw: ``base * (1 + U[0, fraction])``."""
         if fraction <= 0:
             return base
-        return base * (1.0 + fraction * self.rng.random())
+        return base * (1.0 + fraction * self._rng_for(channel).random())
 
     # ------------------------------------------------------------------
     # site availability

@@ -50,6 +50,15 @@ class FaultPlan:
     #: leader and the GTM drop to the minority side (ignored unless the
     #: simulator runs with a commit group)
     vote_decide_partitions: Tuple[VoteDecidePartition, ...] = ()
+    #: message-fault RNG scoping.  False (default): every coin flip comes
+    #: from one shared stream consumed in global event order — the legacy
+    #: behaviour, byte-identical to all existing seeds.  True: each
+    #: site's message legs draw from an independent stream keyed by
+    #: ``(seed, site)``, which makes fates a function of *per-site* event
+    #: order only — the property the parallel transport needs to shard a
+    #: faulty run without changing any fate (the single-loop simulator
+    #: and every shard see identical per-site call sequences).
+    scoped_fates: bool = False
 
     def validate(self) -> None:
         self.messages.validate()

@@ -3,7 +3,7 @@ the event-driven GTM, local-transaction traffic, and ground-truth
 verification."""
 
 from repro.mdbs.events import EventLoop, ScheduledEvent, SimulationError
-from repro.mdbs.server import Latencies, ResilientServer, Server
+from repro.mdbs.server import Latencies, MessagePlane, ResilientServer, Server
 from repro.mdbs.simulator import (
     MDBSSimulator,
     SimulationConfig,
@@ -30,6 +30,7 @@ __all__ = [
     "ScheduledEvent",
     "SimulationError",
     "Latencies",
+    "MessagePlane",
     "ResilientServer",
     "Server",
     "MDBSSimulator",

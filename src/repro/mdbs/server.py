@@ -22,7 +22,7 @@ how many duplicate acks the network produces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.faults.injector import FaultInjector, site_up
 from repro.faults.model import RetryPolicy
@@ -201,7 +201,7 @@ class ResilientServer(Server):
             service = (
                 0.0 if (aborted or replayed) else self.latencies.service_time
             )
-            for extra in self.injector.message_fate():
+            for extra in self.injector.message_fate(self.db.site):
                 self.loop.schedule(
                     service + self.latencies.message_delay + extra,
                     lambda v=value, a=aborted: finish(v, a),
@@ -227,7 +227,7 @@ class ResilientServer(Server):
             if attempt["count"] > 1:
                 self.injector.stats.retries += 1
             # GTM -> site leg: each delivered copy travels independently
-            for extra in self.injector.message_fate():
+            for extra in self.injector.message_fate(self.db.site):
                 self.loop.schedule(
                     self.latencies.message_delay + extra, deliver_copy
                 )
@@ -235,7 +235,9 @@ class ResilientServer(Server):
 
         def arm_timeout() -> None:
             timeout = self.injector.jitter(
-                self.retry.timeout_for(attempt["count"]), self.retry.jitter
+                self.retry.timeout_for(attempt["count"]),
+                self.retry.jitter,
+                self.db.site,
             )
 
             def on_timeout() -> None:
@@ -272,7 +274,7 @@ class ResilientServer(Server):
             ):
                 self.db.abort_transaction(self.transaction_id, reason)
 
-        for extra in self.injector.message_fate():
+        for extra in self.injector.message_fate(self.db.site):
             self.loop.schedule(self.latencies.message_delay + extra, deliver)
 
     # ------------------------------------------------------------------
@@ -343,7 +345,7 @@ class ResilientServer(Server):
                 if (charge_service(result) and not replayed)
                 else 0.0
             )
-            for extra in self.injector.message_fate():
+            for extra in self.injector.message_fate(self.db.site):
                 self.loop.schedule(
                     service + self.latencies.message_delay + extra,
                     lambda r=result: finish(r),
@@ -360,7 +362,7 @@ class ResilientServer(Server):
             attempt["count"] += 1
             if attempt["count"] > 1:
                 self.injector.stats.retries += 1
-            for extra in self.injector.message_fate():
+            for extra in self.injector.message_fate(self.db.site):
                 self.loop.schedule(
                     self.latencies.message_delay + extra, deliver_copy
                 )
@@ -368,7 +370,9 @@ class ResilientServer(Server):
 
         def arm_timeout() -> None:
             timeout = self.injector.jitter(
-                self.retry.timeout_for(attempt["count"]), self.retry.jitter
+                self.retry.timeout_for(attempt["count"]),
+                self.retry.jitter,
+                self.db.site,
             )
 
             def on_timeout() -> None:
@@ -389,3 +393,59 @@ class ResilientServer(Server):
             self._timer = self.loop.schedule(timeout, on_timeout)
 
         send()
+
+
+class MessagePlane:
+    """The GTM side of the network: the single factory for GTM↔site
+    server links plus raw per-site message fates.
+
+    Extracting this from the simulator gives transports one seam to own
+    the message plane: the deterministic single-loop transport hands the
+    simulator a plane over its one event loop, and the parallel
+    transport hands each shard a plane over that shard's loop — with the
+    fault injector *inside* the plane, so chaos plans apply to both
+    runtimes identically.  A plane with no injector produces plain
+    :class:`Server` links and certain single-copy deliveries; a plane
+    with one produces :class:`ResilientServer` links and channel-scoped
+    fate draws.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        latencies: Latencies,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.loop = loop
+        self.latencies = latencies
+        self.injector = injector
+        self.retry = retry
+
+    def server(
+        self,
+        transaction_id: str,
+        db: LocalDBMS,
+        still_wanted: Optional[Callable[[], bool]] = None,
+    ) -> Server:
+        """A server link for *transaction_id* at *db*'s site — resilient
+        exactly when the plane injects faults."""
+        if self.injector is None:
+            return Server(transaction_id, db, self.loop, self.latencies)
+        return ResilientServer(
+            transaction_id,
+            db,
+            self.loop,
+            self.latencies,
+            self.injector,
+            retry=self.retry,
+            still_wanted=still_wanted,
+        )
+
+    def message_fates(self, channel: Optional[str] = None) -> Tuple[float, ...]:
+        """Fates of one fire-and-forget message on *channel* (one extra
+        delay per delivered copy; empty = lost).  Certain delivery when
+        the plane injects no faults."""
+        if self.injector is None:
+            return (0.0,)
+        return self.injector.message_fate(channel)

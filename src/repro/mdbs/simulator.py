@@ -59,6 +59,7 @@ from repro.core.gtm import (
     PlannedOp,
     STRATEGY_BY_PROTOCOL,
     plan_program,
+    site_components,
 )
 from repro.core.recovery import Journal, recover_engine
 from repro.core.scheme import ConservativeScheme
@@ -67,7 +68,7 @@ from repro.faults.injector import FaultInjector, site_up
 from repro.faults.model import FaultStats, RetryPolicy, SiteCrash
 from repro.lmdbs.database import LocalDBMS
 from repro.mdbs.events import EventLoop, SimulationError
-from repro.mdbs.server import Latencies, ResilientServer, Server
+from repro.mdbs.server import Latencies, MessagePlane, Server
 from repro.replication import (
     CatchupTracker,
     LogicalProgram,
@@ -269,6 +270,12 @@ class MDBSSimulator:
         #: servers, GTM2 keeps a journal, and the plan's crash schedule is
         #: executed; when None the simulator behaves exactly as before
         self.injector = injector
+        #: the message plane every GTM↔site exchange goes through — the
+        #: seam :mod:`repro.transport` owns (each parallel shard gets its
+        #: own plane over its own loop and injector)
+        self.plane = MessagePlane(
+            self.loop, self.config.latencies, injector, retry=self.config.retry
+        )
         #: presumed-abort 2PC (repro.commit): per-site commits become
         #: PREPARE votes and the coordinator issues logged decisions;
         #: when False every 2PC path is skipped and runs are
@@ -759,14 +766,32 @@ class MDBSSimulator:
                 if not runtime.done
                 and now - runtime.last_progress >= self.config.stall_timeout
             ]
+            # one victim per *site component of the workload*: stalls in
+            # disjoint components cannot be one deadlock, so a single
+            # victim per tick would only stagger independent recoveries.
+            # On a single-component workload (every pre-transport
+            # regression seed) this is exactly the old one-victim rule;
+            # on a partitionable one it matches the per-shard watchdogs
+            # of the parallel transport — each shard is one component.
             if stalled:
-                victim = min(
-                    stalled, key=lambda r: (r.last_progress, r.incarnation)
-                )
-                self.watchdog_aborts += 1
-                self._abort_global(
-                    victim.incarnation, "watchdog: no progress"
-                )
+                programs = list(self._programs.values()) + [
+                    r.program for r in self._runtimes.values()
+                ]
+                for component in site_components(self.sites, programs):
+                    members = set(component)
+                    candidates = [
+                        r for r in stalled if members & set(r.program.sites)
+                    ]
+                    if not candidates:
+                        continue
+                    victim = min(
+                        candidates,
+                        key=lambda r: (r.last_progress, r.incarnation),
+                    )
+                    self.watchdog_aborts += 1
+                    self._abort_global(
+                        victim.incarnation, "watchdog: no progress"
+                    )
             if self._runtimes or self.loop.pending:
                 self.loop.schedule(self._watchdog_interval(), tick)
 
@@ -1047,8 +1072,6 @@ class MDBSSimulator:
     ) -> Server:
         incarnation = runtime.incarnation
         db = self.sites[planned.operation.site]
-        if self.injector is None:
-            return Server(incarnation, db, self.loop, self.config.latencies)
 
         def still_wanted() -> bool:
             # the GTM cares about this submission only while the
@@ -1060,15 +1083,7 @@ class MDBSSimulator:
                 is planned.operation
             )
 
-        return ResilientServer(
-            incarnation,
-            db,
-            self.loop,
-            self.config.latencies,
-            self.injector,
-            retry=self.config.retry,
-            still_wanted=still_wanted,
-        )
+        return self.plane.server(incarnation, db, still_wanted=still_wanted)
 
     def _send_prepare(
         self, runtime: _GlobalRuntime, planned: PlannedOp
@@ -1286,19 +1301,7 @@ class MDBSSimulator:
     ) -> None:
         participant = self.participants[site]
         db = self.sites[site]
-        if self.injector is None:
-            server: Server = Server(
-                incarnation, db, self.loop, self.config.latencies
-            )
-        else:
-            server = ResilientServer(
-                incarnation,
-                db,
-                self.loop,
-                self.config.latencies,
-                self.injector,
-                retry=self.config.retry,
-            )
+        server = self.plane.server(incarnation, db)
         server.decide(participant, commit, completion)
 
     def _logical(self, incarnation: str) -> str:
@@ -1351,25 +1354,9 @@ class MDBSSimulator:
                 self._send_abort_decision(incarnation, site)
         else:
             for site in runtime.program.sites:
-                if self.injector is None:
-                    server: Server = Server(
-                        incarnation,
-                        self.sites[site],
-                        self.loop,
-                        self.config.latencies,
-                    )
-                else:
-                    # abort messages ride the same faulty network; a lost
-                    # one leaves an orphan for the sweep to reap
-                    server = ResilientServer(
-                        incarnation,
-                        self.sites[site],
-                        self.loop,
-                        self.config.latencies,
-                        self.injector,
-                        retry=self.config.retry,
-                    )
-                server.abort(reason)
+                # abort messages ride the same faulty network; a lost
+                # one leaves an orphan for the sweep to reap
+                self.plane.server(incarnation, self.sites[site]).abort(reason)
         self.engine.purge_transaction(incarnation)
         remover = getattr(self.scheme, "remove_transaction", None)
         if remover is not None:
@@ -1394,11 +1381,7 @@ class MDBSSimulator:
         orphan sweep mop up after a lost copy."""
         participant = self.participants[site]
         db = self.sites[site]
-        fates = (
-            self.injector.message_fate()
-            if self.injector is not None
-            else (0.0,)
-        )
+        fates = self.plane.message_fates(site)
 
         def deliver() -> None:
             if not site_up(db, self.injector, self.loop.now):

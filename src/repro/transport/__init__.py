@@ -1,0 +1,46 @@
+"""Transports: who runs a simulation, and where (see
+:mod:`repro.transport.base` for the full story)."""
+
+from repro.transport.base import (
+    ShardOutcome,
+    SimulationJob,
+    Transport,
+    TransportResult,
+    build_simulator,
+    merge_outcomes,
+    run_shard,
+    shard_jobs,
+    unshardable_reason,
+)
+from repro.transport.parallel import ParallelTransport
+from repro.transport.sim import SimTransport
+
+TRANSPORTS = ("sim", "parallel")
+
+
+def make_transport(name: str, workers: int = 4) -> Transport:
+    """Build a transport by CLI name."""
+    if name == "sim":
+        return SimTransport()
+    if name == "parallel":
+        return ParallelTransport(workers=workers)
+    raise ValueError(
+        f"unknown transport {name!r}; expected one of {TRANSPORTS}"
+    )
+
+
+__all__ = [
+    "ShardOutcome",
+    "SimulationJob",
+    "Transport",
+    "TransportResult",
+    "TRANSPORTS",
+    "ParallelTransport",
+    "SimTransport",
+    "build_simulator",
+    "make_transport",
+    "merge_outcomes",
+    "run_shard",
+    "shard_jobs",
+    "unshardable_reason",
+]

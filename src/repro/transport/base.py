@@ -1,0 +1,418 @@
+"""The transport abstraction: who runs a simulation, and where.
+
+A :class:`SimulationJob` is a complete, picklable run specification —
+sites with their protocols, the GTM scheme, the workload, the fault
+plan.  A :class:`Transport` turns a job into a :class:`TransportResult`:
+the merged :class:`~repro.mdbs.simulator.SimulationReport`, the executed
+global schedule, ``ser(S)``, the verification verdicts, a merged metrics
+registry, and real wall/CPU timings.
+
+Two transports exist:
+
+- :class:`~repro.transport.sim.SimTransport` — the deterministic
+  single-loop simulator, byte-identical to driving
+  :class:`~repro.mdbs.simulator.MDBSSimulator` directly;
+- :class:`~repro.transport.parallel.ParallelTransport` — a concurrent
+  runtime that partitions the job by :func:`~repro.core.gtm.site_components`
+  and runs one full GTM+sites engine per shard across ``multiprocessing``
+  workers.
+
+The sharding rule is the paper's own observation: global transactions
+with disjoint site sets never conflict — directly (no shared site means
+no shared item) or indirectly (an indirect conflict needs a local
+transaction at a shared site) — so every GTM scheme whose data
+structures only link transactions through shared sites
+(:attr:`~repro.core.scheme.ConservativeScheme.shardable`) reaches the
+very same WAIT/GRANT decisions when each site component runs its own
+scheme instance.  ``tests/test_transport_equivalence.py`` asserts this
+end to end on the regression seeds, fault scenarios included.
+
+Known, documented divergences of a sharded run (excluded from the
+equivalence comparison):
+
+- ``events_executed`` — each shard arms its own no-progress watchdog, so
+  the merged count includes one watchdog tick chain per shard;
+- ``scheme_steps`` under the *legacy* scheme3 scans — the paper-model
+  scan cost walks all co-resident transactions, which depends on the
+  partition (decisions do not);
+- a stalled run may abort one watchdog victim *per shard* per tick
+  instead of one victim total.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.gtm import GlobalProgram, site_components
+from repro.faults.plan import FaultPlan
+from repro.mdbs.simulator import (
+    MDBSSimulator,
+    SimulationConfig,
+    SimulationReport,
+)
+from repro.mdbs.verification import VerificationReport, verify
+from repro.schedules.global_schedule import (
+    GlobalSchedule,
+    SerOperation,
+    SerSchedule,
+)
+from repro.schedules.model import Operation, Schedule
+from repro.workloads.generator import LocalProgram
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """Everything one run needs, in picklable form."""
+
+    #: ``(site, protocol-name)`` pairs, in site-dictionary order — the
+    #: order fixes graph insertion order and hence witness identity
+    site_protocols: Tuple[Tuple[str, str], ...]
+    scheme: str
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    seed: int = 0
+    #: fault plan; ``None`` runs without an injector (byte-identical to
+    #: the pre-fault simulator — a quiet plan's injector still perturbs
+    #: retry-jitter draws, so the distinction matters)
+    plan: Optional[FaultPlan] = None
+    atomic_commit: bool = False
+    commit_group_size: int = 0
+    #: ``(program, submit-at)`` pairs
+    global_programs: Tuple[Tuple[GlobalProgram, float], ...] = ()
+    local_programs: Tuple[Tuple[LocalProgram, float], ...] = ()
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        return tuple(site for site, _ in self.site_protocols)
+
+
+@dataclass
+class ShardOutcome:
+    """Picklable result of one shard's run (what crosses the process
+    boundary back to the dispatcher)."""
+
+    report: SimulationReport
+    committed: Tuple[str, ...]
+    failed: Tuple[str, ...]
+    #: per-site executed local schedules, as raw operation tuples
+    site_ops: Tuple[Tuple[str, Tuple[Operation, ...]], ...]
+    global_ids: Tuple[str, ...]
+    ser_ops: Tuple[SerOperation, ...]
+    metrics_snapshot: Dict[str, object]
+    #: elapsed seconds of ``run()`` measured *inside* the worker
+    wall_s: float
+    #: CPU seconds of ``run()`` in the worker (``time.process_time``)
+    cpu_s: float
+
+
+@dataclass
+class TransportResult:
+    """What a transport hands back: merged outcome + real timings."""
+
+    report: SimulationReport
+    committed: Tuple[str, ...]
+    failed: Tuple[str, ...]
+    global_schedule: GlobalSchedule
+    ser_schedule: SerSchedule
+    verification: VerificationReport
+    #: merged per-shard registries (snapshot/merge round-trip), plus
+    #: ``transport.*`` gauges describing the run topology
+    metrics: object
+    transport: str
+    workers: int
+    shards: int
+    #: elapsed seconds around the whole dispatch (includes worker
+    #: startup and merging — the honest end-to-end number)
+    wall_s: float
+    #: summed per-shard CPU seconds (total machine work)
+    cpu_s: float
+    shard_wall_s: Tuple[float, ...]
+    shard_cpu_s: Tuple[float, ...]
+
+    @property
+    def critical_path_s(self) -> float:
+        """CPU seconds of the slowest shard — the run's elapsed time on
+        a machine with >= ``shards`` idle cores.  On fewer cores the
+        shards time-slice and elapsed wall converges to ``cpu_s``
+        instead; both numbers are reported so neither story hides."""
+        return max(self.shard_cpu_s) if self.shard_cpu_s else self.cpu_s
+
+    @property
+    def events_per_sec(self) -> float:
+        """Events over end-to-end elapsed wall (this machine, today)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.report.events_executed / self.wall_s
+
+    @property
+    def agg_events_per_sec(self) -> float:
+        """Events over the critical path: aggregate machine throughput
+        once every shard has a core of its own."""
+        path = self.critical_path_s
+        if path <= 0:
+            return 0.0
+        return self.report.events_executed / path
+
+
+class Transport:
+    """Turns a :class:`SimulationJob` into a :class:`TransportResult`."""
+
+    name = "abstract"
+
+    def run(self, job: SimulationJob) -> TransportResult:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# building and running one (shard-)simulation
+# ----------------------------------------------------------------------
+def build_simulator(job: SimulationJob) -> MDBSSimulator:
+    """Assemble the simulator a job describes (imports deferred so the
+    job dataclass stays cheap to unpickle in workers)."""
+    from repro.core import make_scheme
+    from repro.faults.injector import FaultInjector
+    from repro.lmdbs import LocalDBMS, make_protocol
+
+    sites = {
+        site: LocalDBMS(site, make_protocol(protocol))
+        for site, protocol in job.site_protocols
+    }
+    simulator = MDBSSimulator(
+        sites,
+        make_scheme(job.scheme),
+        job.config,
+        seed=job.seed,
+        injector=FaultInjector(job.plan) if job.plan is not None else None,
+        scheme_factory=lambda: make_scheme(job.scheme),
+        atomic_commit=job.atomic_commit,
+        commit_group_size=job.commit_group_size,
+    )
+    for program, at in job.global_programs:
+        simulator.submit_global(program, at=at)
+    for program, at in job.local_programs:
+        simulator.submit_local(program, at=at)
+    return simulator
+
+
+def run_shard(job: SimulationJob) -> ShardOutcome:
+    """Run one (shard-)job to completion; module-level and picklable so
+    ``multiprocessing`` workers can execute it."""
+    from repro.observability import report_to_registry
+
+    simulator = build_simulator(job)
+    wall_started = time.perf_counter()
+    cpu_started = time.process_time()
+    report = simulator.run()
+    wall_s = time.perf_counter() - wall_started
+    cpu_s = time.process_time() - cpu_started
+    schedule = simulator.global_schedule()
+    registry = report_to_registry(report, scheme=job.scheme)
+    return ShardOutcome(
+        report=report,
+        committed=tuple(simulator.committed_global),
+        failed=tuple(simulator.failed_global),
+        site_ops=tuple(
+            (site, tuple(schedule.local_schedule(site)))
+            for site in job.sites
+        ),
+        global_ids=tuple(sorted(schedule.global_transaction_ids)),
+        ser_ops=tuple(simulator.ser_schedule.operations),
+        metrics_snapshot=registry.snapshot(),
+        wall_s=wall_s,
+        cpu_s=cpu_s,
+    )
+
+
+# ----------------------------------------------------------------------
+# sharding
+# ----------------------------------------------------------------------
+def unshardable_reason(job: SimulationJob) -> Optional[str]:
+    """Why *job* must run as a single shard — ``None`` when it may be
+    partitioned by site component."""
+    from repro.core import make_scheme
+
+    if not getattr(make_scheme(job.scheme), "shardable", False):
+        return f"scheme {job.scheme!r} keeps cross-component state"
+    if job.commit_group_size >= 1:
+        return "the coordinator-replica group is one global quorum"
+    if job.plan is not None and job.plan.messages.any_enabled:
+        if not job.plan.scoped_fates:
+            return (
+                "message fates come from one stream in global event "
+                "order (set FaultPlan.scoped_fates to shard faulty runs)"
+            )
+        if job.atomic_commit:
+            # conservative: 2PC keeps coordinator-side draws that are
+            # not yet channel-scoped
+            return "2PC control traffic draws channel-less fates"
+    return None
+
+
+def _shard_plan(plan: Optional[FaultPlan], members: frozenset) -> Optional[FaultPlan]:
+    """Restrict a plan to one component's sites.  GTM2 crash instants
+    apply to every shard (the whole GTM2 crashes in the single-loop
+    run, wiping each component's state at the same moment); site-keyed
+    crashes follow their site."""
+    if plan is None:
+        return None
+    return dataclasses.replace(
+        plan,
+        site_crashes=tuple(
+            crash for crash in plan.site_crashes if crash.site in members
+        ),
+        crash_after_prepare=tuple(
+            crash
+            for crash in plan.crash_after_prepare
+            if crash.site in members
+        ),
+        crash_after_writes=tuple(
+            crash
+            for crash in plan.crash_after_writes
+            if crash.site in members
+        ),
+    )
+
+
+def shard_jobs(job: SimulationJob) -> List[SimulationJob]:
+    """Partition *job* into one sub-job per site component (sites,
+    programs, and the fault plan's site-keyed scenarios follow their
+    component; everything else is copied).  Returns ``[job]`` when the
+    workload is one component."""
+    components = site_components(
+        job.sites, [program for program, _ in job.global_programs]
+    )
+    if len(components) <= 1:
+        return [job]
+    shards: List[SimulationJob] = []
+    for component in components:
+        members = frozenset(component)
+        shards.append(
+            dataclasses.replace(
+                job,
+                site_protocols=tuple(
+                    (site, protocol)
+                    for site, protocol in job.site_protocols
+                    if site in members
+                ),
+                plan=_shard_plan(job.plan, members),
+                global_programs=tuple(
+                    (program, at)
+                    for program, at in job.global_programs
+                    if program.sites[0] in members
+                ),
+                local_programs=tuple(
+                    (program, at)
+                    for program, at in job.local_programs
+                    if program.site in members
+                ),
+            )
+        )
+    return shards
+
+
+# ----------------------------------------------------------------------
+# merging
+# ----------------------------------------------------------------------
+def _merged_stats(stats_list):
+    """Sum the numeric fields of per-shard stats dataclasses (FaultStats
+    and friends); non-numeric fields keep the empty default."""
+    first = stats_list[0]
+    merged = type(first)()
+    for spec in dataclasses.fields(first):
+        value = getattr(first, spec.name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        setattr(
+            merged,
+            spec.name,
+            sum(getattr(stats, spec.name) for stats in stats_list),
+        )
+    return merged
+
+
+def merge_outcomes(
+    job: SimulationJob, outcomes: List[ShardOutcome]
+) -> Tuple[
+    SimulationReport,
+    Tuple[str, ...],
+    Tuple[str, ...],
+    GlobalSchedule,
+    SerSchedule,
+    VerificationReport,
+]:
+    """Fold per-shard outcomes back into one run's view.
+
+    The global schedule is rebuilt with sites in ``job.site_protocols``
+    order — the order the single-loop simulator's site dictionary has —
+    so serialization-graph insertion order, and hence every witness the
+    verifier emits, matches the unsharded run.  Ser-operations are
+    concatenated shard by shard: only same-site operations conflict and
+    each site lives in exactly one shard, so the per-site conflict
+    order (all that ``ser(S)`` serializability depends on) is preserved.
+    Verification itself runs here, in the dispatcher, over the merged
+    ground truth — shards are never trusted on global serializability.
+    """
+    reports = [outcome.report for outcome in outcomes]
+    if len(outcomes) == 1:
+        merged_report = reports[0]
+    else:
+        fault_stats = [r.fault_stats for r in reports if r.fault_stats]
+        merged_report = SimulationReport(
+            duration=max(r.duration for r in reports),
+            committed_global=sum(r.committed_global for r in reports),
+            failed_global=sum(r.failed_global for r in reports),
+            global_aborts=sum(r.global_aborts for r in reports),
+            committed_local=sum(r.committed_local for r in reports),
+            local_aborts=sum(r.local_aborts for r in reports),
+            response_times=tuple(
+                value for r in reports for value in r.response_times
+            ),
+            scheme_steps=sum(r.scheme_steps for r in reports),
+            scheme_waits=sum(r.scheme_waits for r in reports),
+            watchdog_aborts=sum(r.watchdog_aborts for r in reports),
+            gtm_crashes=max(r.gtm_crashes for r in reports),
+            site_crashes=sum(r.site_crashes for r in reports),
+            quarantined_sites=tuple(
+                sorted(
+                    {s for r in reports for s in r.quarantined_sites}
+                )
+            ),
+            fault_stats=_merged_stats(fault_stats) if fault_stats else None,
+            atomic_commit=job.atomic_commit,
+            commit_latencies=tuple(
+                value for r in reports for value in r.commit_latencies
+            ),
+            in_doubt_times=tuple(
+                value for r in reports for value in r.in_doubt_times
+            ),
+            graph_ops=sum(r.graph_ops for r in reports),
+            dfs_steps_avoided=sum(r.dfs_steps_avoided for r in reports),
+            wake_retries_skipped=sum(
+                r.wake_retries_skipped for r in reports
+            ),
+            events_executed=sum(r.events_executed for r in reports),
+            availability_windows=tuple(
+                window for r in reports for window in r.availability_windows
+            ),
+        )
+    site_ops: Dict[str, Tuple[Operation, ...]] = {}
+    for outcome in outcomes:
+        for site, operations in outcome.site_ops:
+            site_ops[site] = operations
+    schedule = GlobalSchedule(
+        {site: Schedule(site_ops[site]) for site in job.sites},
+        global_transaction_ids={
+            gid for outcome in outcomes for gid in outcome.global_ids
+        },
+    )
+    ser_schedule = SerSchedule(
+        operation for outcome in outcomes for operation in outcome.ser_ops
+    )
+    committed = tuple(
+        tid for outcome in outcomes for tid in outcome.committed
+    )
+    failed = tuple(tid for outcome in outcomes for tid in outcome.failed)
+    verification = verify(schedule, ser_schedule)
+    return merged_report, committed, failed, schedule, ser_schedule, verification

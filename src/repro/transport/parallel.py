@@ -1,0 +1,90 @@
+"""The parallel sharded transport.
+
+Partitions the job by site component (:func:`repro.transport.base.shard_jobs`)
+and runs one complete engine — GTM front-end, scheme instance, site
+engines, fault injector — per shard, fanned across ``multiprocessing``
+workers.  Transactions of different components share no site, hence no
+lock, queue, or graph node: shards never communicate until the merge.
+
+A job that cannot be partitioned (single component, unshardable scheme,
+global fault stream — see
+:func:`repro.transport.base.unshardable_reason`) still runs, as one
+shard, and then matches the sim transport exactly.  ``workers=1``
+executes the shards sequentially in-process — useful for debugging the
+partition itself without multiprocessing in the way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import List
+
+from repro.transport.base import (
+    ShardOutcome,
+    SimulationJob,
+    Transport,
+    TransportResult,
+    merge_outcomes,
+    run_shard,
+    shard_jobs,
+    unshardable_reason,
+)
+
+
+class ParallelTransport(Transport):
+    """Shard by site component; one worker process per running shard."""
+
+    name = "parallel"
+
+    def __init__(self, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def run(self, job: SimulationJob) -> TransportResult:
+        from repro.observability.registry import MetricsRegistry, merged
+
+        started = time.perf_counter()
+        reason = unshardable_reason(job)
+        shards = [job] if reason is not None else shard_jobs(job)
+        outcomes = self._run_shards(shards)
+        (
+            report,
+            committed,
+            failed,
+            schedule,
+            ser_schedule,
+            verification,
+        ) = merge_outcomes(job, outcomes)
+        registry = merged(
+            MetricsRegistry.from_snapshot(outcome.metrics_snapshot)
+            for outcome in outcomes
+        )
+        registry.counter("transport.shards").inc(len(shards))
+        registry.gauge("transport.workers").set(self.workers)
+        return TransportResult(
+            report=report,
+            committed=committed,
+            failed=failed,
+            global_schedule=schedule,
+            ser_schedule=ser_schedule,
+            verification=verification,
+            metrics=registry,
+            transport=self.name,
+            workers=self.workers,
+            shards=len(shards),
+            wall_s=time.perf_counter() - started,
+            cpu_s=sum(outcome.cpu_s for outcome in outcomes),
+            shard_wall_s=tuple(outcome.wall_s for outcome in outcomes),
+            shard_cpu_s=tuple(outcome.cpu_s for outcome in outcomes),
+        )
+
+    def _run_shards(self, shards: List[SimulationJob]) -> List[ShardOutcome]:
+        if self.workers <= 1 or len(shards) <= 1:
+            return [run_shard(shard) for shard in shards]
+        processes = min(self.workers, len(shards))
+        with multiprocessing.Pool(processes=processes) as pool:
+            # map keeps result order == shard order regardless of
+            # completion order, so merging stays deterministic
+            return pool.map(run_shard, shards)

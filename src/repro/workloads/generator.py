@@ -35,10 +35,21 @@ class WorkloadConfig:
     #: Zipf skew of item choice; 0 = uniform
     theta: float = 0.0
     seed: int = 0
+    #: site-name prefix.  Grouped workloads (several independent E4
+    #: site-groups in one simulation — the parallel transport's sharding
+    #: unit) give each group a distinct prefix so site names, and hence
+    #: the per-site item pools, never collide across groups.
+    site_prefix: str = "s"
+    #: global-transaction-id prefix, for the same reason: two groups'
+    #: generators both count G1, G2, ... unless told apart here.
+    txn_prefix: str = "G"
+    #: local-transaction-id prefix (locals of different groups would
+    #: otherwise alias in the merged global schedule's union graph)
+    local_txn_prefix: str = "L"
 
     @property
     def site_names(self) -> List[str]:
-        return [f"s{index}" for index in range(self.sites)]
+        return [f"{self.site_prefix}{index}" for index in range(self.sites)]
 
 
 @dataclass
@@ -88,7 +99,7 @@ class WorkloadGenerator:
     def global_program(self) -> GlobalProgram:
         """Generate the next global transaction."""
         self._global_counter += 1
-        transaction_id = f"G{self._global_counter}"
+        transaction_id = f"{self.config.txn_prefix}{self._global_counter}"
         chosen = self.rng.sample(self.config.site_names, self._site_count())
         accesses: List[Tuple[str, str, str]] = []
         for site in chosen:
@@ -112,7 +123,7 @@ class WorkloadGenerator:
         possibly replicated) items — the GTM routes the concrete per-site
         accesses at admission (:mod:`repro.replication`)."""
         self._global_counter += 1
-        transaction_id = f"G{self._global_counter}"
+        transaction_id = f"{self.config.txn_prefix}{self._global_counter}"
         pool = list(items)
         operations = self.config.ops_per_site * self._site_count()
         accesses: List[Tuple[str, str]] = []
@@ -155,7 +166,11 @@ class WorkloadGenerator:
                 "r" if self.rng.random() < self.config.read_fraction else "w"
             )
             accesses.append((kind, self._pools[site].sample(self.rng)))
-        return LocalProgram(f"L{self._local_counter}", site, tuple(accesses))
+        return LocalProgram(
+            f"{self.config.local_txn_prefix}{self._local_counter}",
+            site,
+            tuple(accesses),
+        )
 
     def local_batch(self, count: int) -> List[LocalProgram]:
         return [self.local_program() for _ in range(count)]

@@ -25,13 +25,20 @@ def _tiny_specs(**overrides):
 
 
 def _strip_wall(cells):
-    """Everything except the wall-clock measurements, which legitimately
-    vary between runs/workers."""
+    """Everything except the wall-clock/CPU measurements, which
+    legitimately vary between runs/workers."""
+    timing = (
+        "wall_s",
+        "events_per_sec",
+        "cpu_s",
+        "critical_path_s",
+        "agg_events_per_sec",
+    )
     return [
         {
             key: value
             for key, value in cell.items()
-            if key not in ("wall_s", "events_per_sec")
+            if key not in timing
         }
         for cell in cells
     ]

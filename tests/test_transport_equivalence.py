@@ -1,0 +1,312 @@
+"""The transport seam is behaviour-preserving.
+
+PR 3 proved the fast paths replay the legacy scheduler byte-for-byte;
+this suite does the same for the transport abstraction, in two layers:
+
+- **byte identity** — :class:`~repro.transport.sim.SimTransport` must be
+  indistinguishable from driving :class:`~repro.mdbs.simulator.
+  MDBSSimulator` by hand (the pre-transport callers), schedules and
+  reports included, with and without a fault plan;
+- **decision equivalence** — the sharded
+  :class:`~repro.transport.parallel.ParallelTransport` must reach the
+  same WAIT/GRANT outcomes as the single loop on site-disjoint grouped
+  workloads: committed/failed sets, verification verdicts, the
+  response-time multiset (every wait a scheme imposed), abort counts.
+  ``events_executed``/``duration``/``scheme_steps`` legitimately differ
+  (per-shard watchdog tick chains, partition-dependent legacy scan
+  charges — see :mod:`repro.transport.base`) and are excluded.
+
+A hypothesis property drives the partition boundary itself: a global
+transaction that spans two site components forces the sharder to merge
+them (it is never split mid-transaction), and either way the decisions
+match the unsharded run.
+"""
+
+import dataclasses
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bench import make_e4_job
+from repro.core import make_scheme
+from repro.core.gtm import Access, GlobalProgram
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.lmdbs import LocalDBMS, make_protocol
+from repro.mdbs import MDBSSimulator
+from repro.transport import (
+    ParallelTransport,
+    SimTransport,
+    shard_jobs,
+    unshardable_reason,
+)
+from repro.workloads import WorkloadConfig, WorkloadGenerator
+
+#: report fields that encode scheduling decisions (counts of outcomes
+#: the scheme chose) — these must survive sharding exactly
+DECISION_FIELDS = (
+    "committed_global",
+    "failed_global",
+    "global_aborts",
+    "committed_local",
+    "local_aborts",
+    "watchdog_aborts",
+)
+
+
+def _decisions(result):
+    """Everything a WAIT/GRANT decision can influence, in
+    partition-independent form."""
+    view = {
+        "committed": tuple(sorted(result.committed)),
+        "failed": tuple(sorted(result.failed)),
+        "verification": result.verification,
+        "response_times": Counter(result.report.response_times),
+    }
+    for field in DECISION_FIELDS:
+        view[field] = getattr(result.report, field)
+    return view
+
+
+def _assert_same_decisions(sim_result, par_result):
+    sim_view = _decisions(sim_result)
+    par_view = _decisions(par_result)
+    for key in sim_view:
+        assert sim_view[key] == par_view[key], key
+
+
+def _normalized_schedules(schedule):
+    """Per-site operation tuples with ``Operation.seq`` — a
+    process-global allocation counter — rewritten to its rank within
+    this run (same normalization as test_fastpath_equivalence)."""
+    site_ops = {
+        site: tuple(schedule.local_schedule(site))
+        for site in schedule.sites
+    }
+    rank = {
+        seq: position
+        for position, seq in enumerate(
+            sorted(
+                operation.seq
+                for operations in site_ops.values()
+                for operation in operations
+            )
+        )
+    }
+    return {
+        site: tuple(
+            dataclasses.replace(operation, seq=rank[operation.seq])
+            for operation in operations
+        )
+        for site, operations in site_ops.items()
+    }
+
+
+def _run_direct(job):
+    """Drive MDBSSimulator by hand, exactly as every pre-transport
+    caller did."""
+    sites = {
+        site: LocalDBMS(site, make_protocol(protocol))
+        for site, protocol in job.site_protocols
+    }
+    simulator = MDBSSimulator(
+        sites,
+        make_scheme(job.scheme),
+        job.config,
+        seed=job.seed,
+        injector=(
+            FaultInjector(job.plan) if job.plan is not None else None
+        ),
+        scheme_factory=lambda: make_scheme(job.scheme),
+        atomic_commit=job.atomic_commit,
+        commit_group_size=job.commit_group_size,
+    )
+    for program, at in job.global_programs:
+        simulator.submit_global(program, at=at)
+    for program, at in job.local_programs:
+        simulator.submit_local(program, at=at)
+    report = simulator.run()
+    return report, simulator
+
+
+# ----------------------------------------------------------------------
+# byte identity: SimTransport == hand-driven simulator
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+@pytest.mark.parametrize("seed", [7, 8, 9, 10])
+def test_sim_transport_matches_direct_simulator(scheme_name, seed):
+    """The regression seeds: the sim transport returns the very
+    schedules, ser(S), report, and verdict a hand-built simulator
+    produces."""
+    job = make_e4_job(scheme_name, 8, seed)
+    report, simulator = _run_direct(job)
+    result = SimTransport().run(job)
+    assert result.shards == 1
+    assert result.report == report
+    assert tuple(result.committed) == tuple(simulator.committed_global)
+    assert tuple(result.failed) == tuple(simulator.failed_global)
+    assert _normalized_schedules(
+        result.global_schedule
+    ) == _normalized_schedules(simulator.global_schedule())
+    assert tuple(result.ser_schedule.operations) == tuple(
+        simulator.ser_schedule.operations
+    )
+    assert result.verification.ok
+
+
+def test_sim_transport_matches_direct_simulator_with_faults():
+    """Same identity under a legacy (single-stream) fault plan: the
+    job->injector wiring must reproduce the hand-built injector's
+    draw sequence exactly."""
+    base = make_e4_job("scheme2", 8, 11)
+    plan = FaultPlan.random(
+        11, base.sites, gtm_crash_count=1, site_crash_count=1
+    )
+    job = dataclasses.replace(base, plan=plan)
+    report, simulator = _run_direct(job)
+    result = SimTransport().run(job)
+    assert result.report == report
+    assert tuple(result.committed) == tuple(simulator.committed_global)
+    assert tuple(result.ser_schedule.operations) == tuple(
+        simulator.ser_schedule.operations
+    )
+
+
+# ----------------------------------------------------------------------
+# decision equivalence: sharded == single loop
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+@pytest.mark.parametrize("seed", [7, 8, 9, 10])
+def test_grouped_cells_shard_equivalently(scheme_name, seed):
+    """Four site-disjoint groups, MPL 32 total: the partitioned run
+    reaches the single loop's exact decisions."""
+    job = make_e4_job(scheme_name, 32, seed, groups=4)
+    assert unshardable_reason(job) is None
+    sim_result = SimTransport().run(job)
+    par_result = ParallelTransport(workers=1).run(job)
+    assert par_result.shards == 4
+    _assert_same_decisions(sim_result, par_result)
+    assert sim_result.verification.ok and par_result.verification.ok
+
+
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+def test_multiprocessing_workers_match_sequential_shards(scheme_name):
+    """Real worker processes (the production path) return what the
+    in-process sequential sharding returns — pickling, snapshot/merge,
+    and result ordering included."""
+    job = make_e4_job(scheme_name, 32, 7, groups=4)
+    sequential = ParallelTransport(workers=1).run(job)
+    pooled = ParallelTransport(workers=4).run(job)
+    assert pooled.shards == 4
+    assert pooled.workers == 4
+    _assert_same_decisions(sequential, pooled)
+    assert pooled.report == sequential.report
+    # the merged metrics must carry every shard's counters
+    assert (
+        pooled.metrics.counter("transport.shards").value == 4
+    )
+
+
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+@pytest.mark.parametrize("seed", [11, 23])
+def test_fault_scenarios_shard_equivalently(scheme_name, seed):
+    """Crash + message-fault storms with per-channel fate streams
+    (``scoped_fates``) and local transactions at every group: the
+    injector inside the transport fires identically on both."""
+    base = make_e4_job(scheme_name, 32, seed, groups=4)
+    locals_ = []
+    for group in range(4):
+        cfg = WorkloadConfig(
+            sites=4,
+            items_per_site=12,
+            dav=2.0,
+            ops_per_site=2,
+            seed=seed + 1009 * group,
+            site_prefix=f"g{group}s",
+            txn_prefix=f"g{group}G",
+            local_txn_prefix=f"g{group}L",
+        )
+        for index, program in enumerate(
+            WorkloadGenerator(cfg).local_batch(4)
+        ):
+            locals_.append((program, 10.0 + 25.0 * index))
+    plan = dataclasses.replace(
+        FaultPlan.random(
+            seed, base.sites, gtm_crash_count=1, site_crash_count=1
+        ),
+        scoped_fates=True,
+    )
+    job = dataclasses.replace(
+        base, plan=plan, local_programs=tuple(locals_)
+    )
+    assert unshardable_reason(job) is None
+    sim_result = SimTransport().run(job)
+    par_result = ParallelTransport(workers=1).run(job)
+    assert par_result.shards == 4
+    _assert_same_decisions(sim_result, par_result)
+
+
+def test_single_stream_fault_plan_refuses_to_shard():
+    """A legacy plan (one global fate stream) cannot be partitioned
+    without changing draw order — the parallel transport must fall back
+    to one shard and still match the sim transport."""
+    base = make_e4_job("scheme2", 16, 11, groups=2)
+    plan = FaultPlan.random(
+        11, base.sites, gtm_crash_count=1, site_crash_count=1
+    )
+    job = dataclasses.replace(base, plan=plan)
+    assert unshardable_reason(job) is not None
+    sim_result = SimTransport().run(job)
+    par_result = ParallelTransport(workers=2).run(job)
+    assert par_result.shards == 1
+    assert par_result.report == sim_result.report
+
+
+# ----------------------------------------------------------------------
+# the partition boundary, property-tested
+# ----------------------------------------------------------------------
+def _bridge_program(rng):
+    """A global transaction spanning both groups of a groups=2 job."""
+    accesses = []
+    for group in (0, 1):
+        site = f"g{group}s{rng.randrange(4)}"
+        accesses.append(
+            Access(
+                site=site,
+                kind=rng.choice("rw"),
+                item=f"{site}_x{rng.randrange(12)}",
+            )
+        )
+    return GlobalProgram("Gbridge", tuple(accesses))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=999),
+    scheme_name=st.sampled_from(["scheme2", "scheme3"]),
+    bridged=st.booleans(),
+)
+@settings(max_examples=15, deadline=None)
+def test_cross_shard_transaction_property(seed, scheme_name, bridged):
+    """Property: a global transaction spanning two GTM shards is never
+    split — it merges its components into one shard — and in every case
+    the sharded run's WAIT/GRANT decisions and ser(S) verdict equal the
+    unsharded run's."""
+    job = make_e4_job(scheme_name, 8, seed, groups=2)
+    if bridged:
+        bridge = _bridge_program(random.Random(seed))
+        job = dataclasses.replace(
+            job,
+            global_programs=job.global_programs + ((bridge, 40.0),),
+        )
+    expected_shards = 1 if bridged else 2
+    assert len(shard_jobs(job)) == expected_shards
+    sim_result = SimTransport().run(job)
+    par_result = ParallelTransport(workers=1).run(job)
+    assert par_result.shards == expected_shards
+    _assert_same_decisions(sim_result, par_result)
+    assert (
+        par_result.verification.ok == sim_result.verification.ok
+    )
