@@ -32,9 +32,12 @@ from repro import fastpath
 
 #: site protocols of the E4 grid (benchmarks/test_bench_throughput.py)
 E4_PROTOCOLS = ("strict-2pl", "to", "conservative-2pl", "sgt")
-DEFAULT_SCHEMES = ("scheme0", "scheme1", "scheme2", "scheme3")
+DEFAULT_SCHEMES = ("scheme0", "scheme1", "scheme2", "scheme3", "scheme4")
 DEFAULT_MPL = (4, 8, 16)
 DEFAULT_SEEDS = (7, 8, 9, 10)
+#: multiprogramming levels of the E14 degree-of-concurrency cells: the
+#: regime where batch planning (scheme4) must dominate Scheme 2
+E14_MPL = (32, 64)
 
 
 def make_specs(
@@ -93,6 +96,10 @@ def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
             chaos = _run_e13_cell(spec)
             report, wall_s = chaos.report, chaos.wall_s
         else:
+            # E4 (throughput) and E14 (degree of concurrency) share the
+            # workload and the runner; E14 differs only in the gated
+            # statistics (mean WAIT-set size, aggregate events/sec) and
+            # its high-MPL grid (see E14_MPL / check_dominance)
             transport_result = _run_e4_cell(spec)
             report = transport_result.report
             # measured inside this worker by the transport, covering the
@@ -118,6 +125,9 @@ def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
         dfs_steps_avoided=report.dfs_steps_avoided,
         wake_retries_skipped=report.wake_retries_skipped,
         indoubt_max=max(report.in_doubt_times or (0.0,)),
+        wait_area=report.wait_area,
+        wait_samples=report.wait_samples,
+        mean_wait_set=report.mean_wait_set,
     )
     if transport_result is not None:
         result.update(
@@ -304,6 +314,10 @@ def results_to_registry(results: Iterable[Dict[str, Any]], registry=None):
         out.counter("gtm.wake_retries_skipped").inc(
             cell["wake_retries_skipped"]
         )
+        out.counter("gtm.wait_area").inc(int(cell.get("wait_area", 0)))
+        out.counter("gtm.wait_samples").inc(
+            int(cell.get("wait_samples", 0))
+        )
         out.counter(f"{cell['scheme']}.cells").inc()
         out.counter("transport.shards").inc(int(cell.get("shards", 1)))
         wall.observe(cell["wall_s"])
@@ -374,5 +388,71 @@ def check_regression(
             failures.append(
                 f"no comparable {experiment} {scheme}@mpl={mpl} cells "
                 "between current run and baseline"
+            )
+    return failures
+
+
+def check_dominance(
+    cells: Iterable[Dict[str, Any]],
+    challenger: str = "scheme4",
+    incumbent: str = "scheme2",
+    mpl_values: Sequence[int] = E14_MPL,
+    experiment: str = "E14",
+    require_events_per_sec: bool = False,
+) -> List[str]:
+    """The ROADMAP item 1 dominance gate, over one run's cells.
+
+    For every (*mpl* ∈ *mpl_values*, seed) pair present for both schemes,
+    the *challenger*'s mean WAIT-set size must be **strictly** below the
+    *incumbent*'s; with ``require_events_per_sec`` the challenger's
+    aggregate events/sec must also be at least the incumbent's (a
+    wall-clock measure — gate it when recording trajectory files, not on
+    shared CI runners).  Cells only exist for runs that passed ground-
+    truth verification (:func:`_run_e4_cell` raises otherwise), so a
+    compared pair always carries identical verification verdicts.
+    Returns failure descriptions; an empty list means dominance holds,
+    and a grid with no comparable pair at some *mpl* fails — a gate that
+    compares nothing must not pass."""
+    indexed: Dict[Any, Dict[str, Any]] = {}
+    for cell in cells:
+        indexed[_cell_key(cell)] = cell
+    failures: List[str] = []
+    for mpl in mpl_values:
+        compared = 0
+        for key, reference in sorted(
+            (k, c)
+            for k, c in indexed.items()
+            if k[0] == experiment and k[1] == incumbent and k[2] == mpl
+        ):
+            rival_key = (experiment, challenger) + key[2:]
+            rival = indexed.get(rival_key)
+            if rival is None:
+                continue
+            compared += 1
+            seed = reference["seed"]
+            if not rival["mean_wait_set"] < reference["mean_wait_set"]:
+                failures.append(
+                    f"{challenger}@mpl={mpl} seed={seed}: mean WAIT-set "
+                    f"size {rival['mean_wait_set']:.3f} not strictly "
+                    f"below {incumbent}'s "
+                    f"{reference['mean_wait_set']:.3f}"
+                )
+            if require_events_per_sec:
+                rival_rate = rival.get(
+                    "agg_events_per_sec", rival["events_per_sec"]
+                )
+                reference_rate = reference.get(
+                    "agg_events_per_sec", reference["events_per_sec"]
+                )
+                if rival_rate < reference_rate:
+                    failures.append(
+                        f"{challenger}@mpl={mpl} seed={seed}: "
+                        f"{rival_rate:.1f} events/sec below "
+                        f"{incumbent}'s {reference_rate:.1f}"
+                    )
+        if compared == 0:
+            failures.append(
+                f"no comparable {experiment} {challenger}/{incumbent} "
+                f"pairs at mpl={mpl}"
             )
     return failures

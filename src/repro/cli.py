@@ -338,12 +338,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis import bench
 
     for name in args.schemes:
-        _make_scheduler(name)  # validate early
+        # bench cells are constructed with make_scheme inside worker
+        # processes, so only the scheme registry is runnable here —
+        # _make_scheduler would wave baselines (otm, ...) through and
+        # let them crash mid-grid with a raw KeyError
+        if name not in SCHEMES:
+            raise SystemExit(
+                f"unknown bench scheme {name!r}; choose from "
+                f"{sorted(SCHEMES)}"
+            )
     transports = list(dict.fromkeys(args.transport))
-    if "parallel" in transports and args.experiment != "E4":
+    if "parallel" in transports and args.experiment not in ("E4", "E14"):
         raise SystemExit(
-            "--transport parallel only applies to the E4 throughput "
-            "grid; E11/E13 are chaos scenarios pinned to the "
+            "--transport parallel only applies to the E4/E14 simulator "
+            "grids; E11/E13 are chaos scenarios pinned to the "
             "deterministic sim transport"
         )
     seeds = [args.base_seed + offset for offset in range(args.seeds)]
@@ -480,6 +488,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"regression gate passed (threshold "
             f"{args.max_regression:.0%} vs {args.baseline})"
         )
+    if args.check_dominance:
+        failures = bench.check_dominance(
+            results, mpl_values=args.mpl, experiment=args.experiment
+        )
+        if failures:
+            for line in failures:
+                print(f"!! dominance: {line}")
+            return 1
+        print(
+            "dominance gate passed (scheme4 mean WAIT-set strictly "
+            f"below scheme2's at mpl {list(args.mpl)})"
+        )
     return 0
 
 
@@ -567,7 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument(
         "--schemes",
         nargs="+",
-        default=["scheme0", "scheme1", "scheme2", "scheme3"],
+        default=["scheme0", "scheme1", "scheme2", "scheme3", "scheme4"],
     )
     chaos_parser.add_argument("--runs", type=int, default=25)
     chaos_parser.add_argument("--sites", type=int, default=3)
@@ -654,16 +674,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = sub.add_parser(
         "bench",
-        help="run the perf-trajectory bench grid (E4/E11/E13 cells "
+        help="run the perf-trajectory bench grid (E4/E11/E13/E14 cells "
         "across worker processes) and optionally gate on a baseline",
     )
     bench_parser.add_argument(
-        "--experiment", choices=["E4", "E11", "E13"], default="E4"
+        "--experiment", choices=["E4", "E11", "E13", "E14"], default="E4"
     )
     bench_parser.add_argument(
         "--schemes",
         nargs="+",
-        default=["scheme0", "scheme1", "scheme2", "scheme3"],
+        default=["scheme0", "scheme1", "scheme2", "scheme3", "scheme4"],
     )
     bench_parser.add_argument(
         "--mpl", nargs="+", type=int, default=[4, 8, 16]
@@ -716,6 +736,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.2,
         help="fractional throughput drop tolerated vs the baseline",
+    )
+    bench_parser.add_argument(
+        "--check-dominance",
+        action="store_true",
+        help="fail unless scheme4's mean WAIT-set size is strictly "
+        "below scheme2's on every compared (mpl, seed) cell of this "
+        "run (the ROADMAP item 1 gate; E14)",
     )
     bench_parser.set_defaults(func=cmd_bench)
 

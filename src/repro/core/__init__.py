@@ -20,6 +20,7 @@ from repro.core.scheme1 import Scheme1
 from repro.core.scheme2 import Scheme2
 from repro.core.scheme2_minimal import Scheme2Minimal
 from repro.core.scheme3 import Scheme3
+from repro.core.scheme4 import Scheme4
 from repro.core.tsg import TransactionSiteGraph
 from repro.core.tsgd import (
     TSGD,
@@ -29,13 +30,15 @@ from repro.core.tsgd import (
 )
 
 #: Registry of the paper's schemes by name (scheme2-minimal is the
-#: intractable ideal of §6, included for the Theorem 7 experiments).
+#: intractable ideal of §6, included for the Theorem 7 experiments;
+#: scheme4 is the modern batch-planned baseline of ROADMAP item 1).
 SCHEMES = {
     "scheme0": Scheme0,
     "scheme1": Scheme1,
     "scheme2": Scheme2,
     "scheme2-minimal": Scheme2Minimal,
     "scheme3": Scheme3,
+    "scheme4": Scheme4,
 }
 
 
@@ -74,6 +77,7 @@ __all__ = [
     "Scheme2",
     "Scheme2Minimal",
     "Scheme3",
+    "Scheme4",
     "TransactionSiteGraph",
     "TSGD",
     "candidate_dependencies",

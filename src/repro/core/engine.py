@@ -101,6 +101,11 @@ class Engine(SchemeContext):
         self._wait_index: Dict[Tuple[str, Optional[str]], List[QueueOp]] = {}
         self._wait_since: Dict[int, int] = {}
         self._ticks = 0
+        #: degree-of-concurrency accounting (§4): the WAIT-set size
+        #: sampled once per queue-operation tick — ``wait_area /
+        #: wait_samples`` is the run's mean WAIT-set size
+        self.wait_area = 0
+        self.wait_samples = 0
         self._full_rescan_pending = False
         #: wake hints accumulated by targeted purges, consumed on the
         #: next run (see :meth:`purge_transaction`)
@@ -239,6 +244,8 @@ class Engine(SchemeContext):
                 # to re-examine WAIT even though nothing was processed
                 if self._consume_rescan_request():
                     processed += self._drain_full()
+            self.wait_area += len(self._wait)
+            self.wait_samples += 1
         return processed
 
     def _consume_rescan_request(self) -> bool:

@@ -44,6 +44,10 @@ class SchemeMetrics:
     #: dependency edges added by Eliminate_Cycles (scheme 2's Δ; the
     #: paper's non-minimality measure of Theorem 7 — zero elsewhere)
     delta_edges: int = 0
+    #: batches sealed by the batch planner (scheme 4 — zero elsewhere)
+    batches_planned: int = 0
+    #: per-site ordering constraints materialised by sealed plans
+    plan_edges: int = 0
 
     def step(self, count: int = 1) -> None:
         self.steps += count
@@ -83,4 +87,6 @@ class SchemeMetrics:
             "dfs_steps_avoided": float(self.dfs_steps_avoided),
             "wake_retries_skipped": float(self.wake_retries_skipped),
             "delta_edges": float(self.delta_edges),
+            "batches_planned": float(self.batches_planned),
+            "plan_edges": float(self.plan_edges),
         }

@@ -200,6 +200,10 @@ class SimulationReport:
     wake_retries_skipped: int = 0
     #: events executed by the simulation loop
     events_executed: int = 0
+    # -- degree of concurrency (§4): WAIT-set size integrated over
+    # -- queue-operation ticks — mean WAIT-set size is area/samples ----
+    wait_area: int = 0
+    wait_samples: int = 0
     # -- replication (None / zeros without a replica map) --------------
     #: what the replication layer did (see repro.replication.model)
     replication: Optional[ReplicationStats] = None
@@ -223,6 +227,14 @@ class SimulationReport:
         if not self.response_times:
             return 0.0
         return statistics.fmean(self.response_times)
+
+    @property
+    def mean_wait_set(self) -> float:
+        """Mean WAIT-set size over queue-operation ticks (degree of
+        concurrency, §4): lower means the scheme blocked less."""
+        if self.wait_samples == 0:
+            return 0.0
+        return self.wait_area / self.wait_samples
 
 
 @dataclass
@@ -735,6 +747,8 @@ class MDBSSimulator:
                 self.scheme.metrics.wake_retries_skipped
             ),
             events_executed=self.loop.executed,
+            wait_area=self.engine.wait_area,
+            wait_samples=self.engine.wait_samples,
             replication=self.replication,
             snapshot_committed=len(self.snapshot_committed),
             snapshot_failed=len(self.snapshot_failed),
@@ -835,6 +849,8 @@ class MDBSSimulator:
             new_journal=self._journal,
             tracer=self.tracer,
         )
+        # no wait-area carry-over: recover_engine's journal replay
+        # re-accumulates the pre-crash WAIT history in the fresh engine
         self.scheme = fresh
         if self.coordinator is not None:
             # the coordinator's volatile state dies with GTM2; rebuild

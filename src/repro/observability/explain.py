@@ -57,6 +57,18 @@ def format_cause(cause: Optional[Mapping[str, Any]]) -> str:
             f"fin held back by delete queue at {site}: "
             f"{blocking} must finish first"
         )
+    if kind == "batch-plan-order":
+        return (
+            f"blocked by batch plan (batch {cause.get('batch')}): "
+            f"{blocking} precedes {cause.get('after')} in the planned "
+            f"chain at {site} and is not yet acknowledged"
+        )
+    if kind == "batch-open":
+        return (
+            f"blocked awaiting batch seal: {cause.get('after')} is "
+            f"admitted but its site component's batch at {site} has "
+            f"not been planned yet"
+        )
     if kind == "replica-recovering":
         sites = cause.get("sites")
         where = ", ".join(sites) if sites else "?"

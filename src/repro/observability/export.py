@@ -63,6 +63,9 @@ def scheme_metrics_to_registry(
         out.counter(f"gtm.waits.{kind}").inc(metrics.waited[kind])
     if scheme and getattr(metrics, "delta_edges", 0):
         out.counter(f"{scheme}.delta_edges").inc(metrics.delta_edges)
+    if scheme and getattr(metrics, "batches_planned", 0):
+        out.counter(f"{scheme}.batches_planned").inc(metrics.batches_planned)
+        out.counter(f"{scheme}.plan_edges").inc(metrics.plan_edges)
     return out
 
 
@@ -145,6 +148,8 @@ def report_to_registry(
     out.counter("gtm.graph_ops").inc(report.graph_ops)
     out.counter("gtm.dfs_steps_avoided").inc(report.dfs_steps_avoided)
     out.counter("gtm.wake_retries_skipped").inc(report.wake_retries_skipped)
+    out.counter("gtm.wait_area").inc(getattr(report, "wait_area", 0))
+    out.counter("gtm.wait_samples").inc(getattr(report, "wait_samples", 0))
     response = out.histogram("sim.response_time", TIME_BUCKETS)
     for value in report.response_times:
         response.observe(value)

@@ -393,6 +393,8 @@ def merge_outcomes(
                 r.wake_retries_skipped for r in reports
             ),
             events_executed=sum(r.events_executed for r in reports),
+            wait_area=sum(r.wait_area for r in reports),
+            wait_samples=sum(r.wait_samples for r in reports),
             availability_windows=tuple(
                 window for r in reports for window in r.availability_windows
             ),

@@ -170,6 +170,65 @@ def test_check_regression_gates_every_requested_scheme():
     )
 
 
+def _e14_cell(scheme, mpl=32, seed=7, wait=10.0, rate=100.0):
+    return {
+        "experiment": "E14",
+        "scheme": scheme,
+        "mpl": mpl,
+        "seed": seed,
+        "fast_paths": True,
+        "mean_wait_set": wait,
+        "events_per_sec": rate,
+        "agg_events_per_sec": rate,
+    }
+
+
+def test_check_dominance_passes_on_strict_win():
+    cells = [
+        _e14_cell("scheme2", mpl=mpl, wait=10.0)
+        for mpl in bench.E14_MPL
+    ] + [
+        _e14_cell("scheme4", mpl=mpl, wait=9.0)
+        for mpl in bench.E14_MPL
+    ]
+    assert bench.check_dominance(cells) == []
+
+
+def test_check_dominance_fails_on_tie():
+    cells = [
+        _e14_cell("scheme2", mpl=mpl, wait=10.0)
+        for mpl in bench.E14_MPL
+    ] + [
+        _e14_cell("scheme4", mpl=mpl, wait=10.0)  # tie: not strict
+        for mpl in bench.E14_MPL
+    ]
+    failures = bench.check_dominance(cells)
+    assert len(failures) == len(bench.E14_MPL)
+    assert "not strictly below" in failures[0]
+
+
+def test_check_dominance_no_comparable_pairs_is_a_failure():
+    assert any(
+        "no comparable" in line
+        for line in bench.check_dominance([_e14_cell("scheme2")])
+    )
+
+
+def test_check_dominance_events_per_sec_gate_is_optional():
+    cells = [
+        _e14_cell("scheme2", mpl=mpl, wait=10.0, rate=100.0)
+        for mpl in bench.E14_MPL
+    ] + [
+        _e14_cell("scheme4", mpl=mpl, wait=9.0, rate=50.0)
+        for mpl in bench.E14_MPL
+    ]
+    # WAIT-set-only gate (the CI mode) passes; the trajectory-recording
+    # gate also demands the throughput win
+    assert bench.check_dominance(cells) == []
+    failures = bench.check_dominance(cells, require_events_per_sec=True)
+    assert failures and "events/sec below" in failures[0]
+
+
 def test_committed_trajectory_is_self_consistent():
     """The committed BENCH_3.json gates against itself and its fast and
     legacy columns agree on behaviour (the before/after contract)."""

@@ -21,6 +21,26 @@ class TestParser:
                 ["simulate", "--protocols", "voodoo"]
             )
 
+    def test_bench_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--schemes", "scheme2", "bogus", "--seeds", "1"])
+        message = str(excinfo.value)
+        assert "bogus" in message
+        assert "scheme4" in message  # the valid names are listed
+
+    def test_bench_rejects_baseline_scheduler_names(self):
+        # baselines (e.g. otm) are simulate-able but not bench-runnable;
+        # they used to pass validation and crash with a raw KeyError
+        # inside the worker pool
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--schemes", "otm", "--seeds", "1"])
+        assert "otm" in str(excinfo.value)
+
+    def test_bench_accepts_e14(self):
+        args = build_parser().parse_args(["bench", "--experiment", "E14"])
+        assert args.experiment == "E14"
+        assert "scheme4" in args.schemes
+
 
 class TestCommands:
     def test_simulate_runs_and_verifies(self, capsys):

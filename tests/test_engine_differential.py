@@ -10,7 +10,7 @@ orders, identical wait counts, and identical final ser(S).
 import pytest
 
 from repro.baselines import SiteGraphScheme
-from repro.core import Scheme0, Scheme1, Scheme2, Scheme3
+from repro.core import Scheme0, Scheme1, Scheme2, Scheme3, Scheme4
 from repro.workloads.traces import (
     adversarial_trace,
     drive,
@@ -19,7 +19,7 @@ from repro.workloads.traces import (
     staggered_trace,
 )
 
-SCHEMES = [Scheme0, Scheme1, Scheme2, Scheme3, SiteGraphScheme]
+SCHEMES = [Scheme0, Scheme1, Scheme2, Scheme3, Scheme4, SiteGraphScheme]
 GENERATORS = [
     random_trace,
     staggered_trace,

@@ -17,7 +17,7 @@ from repro.mdbs import MDBSSimulator, SimulationConfig, assert_verified
 from repro.workloads import WorkloadConfig, WorkloadGenerator
 
 ALL_PROTOCOLS = sorted(PROTOCOLS)
-PAPER_SCHEMES = ["scheme0", "scheme1", "scheme2", "scheme3"]
+PAPER_SCHEMES = ["scheme0", "scheme1", "scheme2", "scheme3", "scheme4"]
 
 
 def random_gtm_run(seed, scheme_name):

@@ -17,7 +17,7 @@ from repro.schedules.global_schedule import GlobalSchedule
 from repro.schedules.model import begin, commit, read, write
 from repro.workloads import WorkloadConfig, WorkloadGenerator
 
-ALL_SCHEMES = ["scheme0", "scheme1", "scheme2", "scheme3"]
+ALL_SCHEMES = ["scheme0", "scheme1", "scheme2", "scheme3", "scheme4"]
 
 
 class TestIndirectConflicts:

@@ -52,6 +52,8 @@ class TestSchemeMetrics:
             "dfs_steps_avoided",
             "wake_retries_skipped",
             "delta_edges",
+            "batches_planned",
+            "plan_edges",
         }
 
 

@@ -19,7 +19,7 @@ from repro.observability import (
     spans_from_jsonl,
 )
 from repro.observability.registry import DEFAULT_BUCKETS
-from repro.workloads.traces import drive, random_trace
+from repro.workloads.traces import adversarial_trace, drive, random_trace
 
 
 class TestRegistry:
@@ -154,7 +154,8 @@ class TestTracerDeterminism:
         assert traced.submission_order == plain.submission_order
 
     @pytest.mark.parametrize(
-        "scheme_name", ["scheme0", "scheme1", "scheme2", "scheme3"]
+        "scheme_name",
+        ["scheme0", "scheme1", "scheme2", "scheme3", "scheme4"],
     )
     def test_replay_matches_ser_schedule(self, scheme_name):
         tracer = Tracer()
@@ -206,6 +207,33 @@ class TestExplain:
             if span.name == "gtm.wait" and span.cause
         }
         assert causes & {"ser-bef", "ser-bef-nonempty", "one-outstanding"}
+
+    def test_scheme4_names_plan_position(self):
+        tracer = Tracer()
+        drive(
+            make_scheme("scheme4"),
+            adversarial_trace(12, 3, 2, seed=1),
+            tracer=tracer,
+        )
+        waited = [
+            span
+            for span in tracer.spans
+            if span.name == "gtm.wait"
+            and span.cause
+            and span.cause["type"] == "batch-plan-order"
+        ]
+        assert waited, "adversarial workload should hit the plan chain"
+        text = explain_transaction(tracer.spans, waited[0].txn)
+        assert "batch plan" in text
+        assert "planned" in text and "chain" in text
+
+    def test_scheme4_open_batch_cause_rendered(self):
+        from repro.observability.explain import format_cause
+
+        line = format_cause(
+            {"type": "batch-open", "site": "s1", "after": "G7"}
+        )
+        assert "batch seal" in line and "G7" in line and "s1" in line
 
     def test_unknown_transaction_lists_known(self):
         tracer = Tracer()

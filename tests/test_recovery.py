@@ -3,14 +3,14 @@ fault tolerance, implemented in :mod:`repro.core.recovery`)."""
 
 import pytest
 
-from repro.core import Scheme0, Scheme1, Scheme2, Scheme3
+from repro.core import Scheme0, Scheme1, Scheme2, Scheme3, Scheme4
 from repro.core.engine import Engine
 from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.recovery import Journal, recover_engine, replay_scheme
 from repro.exceptions import SchedulerError
 from repro.schedules.global_schedule import SerOperation, SerSchedule
 
-ALL_SCHEMES = [Scheme0, Scheme1, Scheme2, Scheme3]
+ALL_SCHEMES = [Scheme0, Scheme1, Scheme2, Scheme3, Scheme4]
 
 
 def journaled_run(factory, records, crash_after=None):
@@ -166,6 +166,64 @@ class TestReplayEquivalence:
         # replay context swallowed them
         context = replayed.context
         assert len(context.replayed_submissions) == len(submissions)
+
+
+class TestScheme4RecoveryReplanning:
+    def test_demand_sealed_plan_survives_crash(self):
+        """A demand-seal fires inside cond_ser and is invisible to the
+        act journal.  Recovery must not rebuild a plan that contradicts
+        the ser-operations the sites already executed: G5 ran at s2
+        before the crash, so no post-recovery plan may put G6 ahead of
+        G5 anywhere (pre-fix, the replayed scheme re-buffered G5 and a
+        later demand-seal preferred G6 at s1 by visit order)."""
+        records = [Init("G5", sites=("s2", "s1")), Ser("G5", site="s2")]
+        journal, _, submissions, acks_expected = journaled_run(
+            lambda: Scheme4(batch_size=8), records
+        )
+        all_submissions = list(submissions)
+
+        def on_submit(operation):
+            all_submissions.append(operation)
+            recovered.enqueue(
+                Ack(operation.transaction_id, site=operation.site)
+            )
+
+        def on_ack(operation):
+            remaining = acks_expected[operation.transaction_id]
+            remaining.discard(operation.site)
+            if not remaining:
+                recovered.enqueue(Fin(operation.transaction_id))
+
+        recovered = recover_engine(
+            Scheme4(batch_size=8),
+            journal,
+            submit_handler=on_submit,
+            ack_handler=on_ack,
+        )
+        recovered.run()
+        # the replayed transaction is planned, not re-buffered
+        assert "G5" in recovered.scheme._batch_of
+        tail = [
+            Init("G6", sites=("s1", "s2")),
+            Ser("G6", site="s1"),
+            Ser("G5", site="s1"),
+            Ser("G6", site="s2"),
+        ]
+        for record in tail:
+            if isinstance(record, Init):
+                acks_expected[record.transaction_id] = set(record.sites)
+            recovered.enqueue(record)
+            recovered.run()
+        recovered.assert_drained()
+        ser = SerSchedule(
+            SerOperation(op.transaction_id, op.site)
+            for op in all_submissions
+        )
+        assert ser.is_serializable()
+        per_site = {}
+        for op in all_submissions:
+            per_site.setdefault(op.site, []).append(op.transaction_id)
+        assert per_site["s1"] == per_site["s2"] == ["G5", "G6"]
 
 
 class TestRecoverIsRecoverable:

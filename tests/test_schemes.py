@@ -1,16 +1,23 @@
-"""Behavioural tests of Schemes 0–3 at the cond/act level, driven by the
+"""Behavioural tests of Schemes 0–4 at the cond/act level, driven by the
 engine with scripted queue orders."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
+from repro.core import GTMSystem, GlobalProgram
 from repro.core.engine import Engine
 from repro.core.events import Ack, Fin, Init, Ser
 from repro.core.scheme0 import Scheme0
 from repro.core.scheme1 import Scheme1
 from repro.core.scheme2 import Scheme2
 from repro.core.scheme3 import Scheme3
+from repro.core.scheme4 import Scheme4
+from repro.exceptions import SchedulerError
+from repro.lmdbs import LocalDBMS, make_protocol
+from repro.workloads.traces import Trace, TraceRecord, drive
 
-ALL_SCHEMES = [Scheme0, Scheme1, Scheme2, Scheme3]
+ALL_SCHEMES = [Scheme0, Scheme1, Scheme2, Scheme3, Scheme4]
 
 
 class Harness:
@@ -292,3 +299,235 @@ class TestScheme3:
         assert scheme.metrics.waited.get("fin", 0) == 1
         h.push(Fin("G1"))
         h.engine.assert_drained()
+
+
+class TestScheme4:
+    def test_full_batch_seals_on_init(self):
+        scheme = Scheme4(batch_size=2)
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)))
+        assert scheme.metrics.batches_planned == 0
+        h.push(Init("G2", sites=("s1",)))
+        assert scheme.metrics.batches_planned == 1
+
+    def test_partial_batch_seals_on_demand(self):
+        scheme = Scheme4(batch_size=8)
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)))
+        # the batch never fills; the first ser seals it on demand
+        h.push(Ser("G1", site="s1"))
+        assert scheme.metrics.batches_planned == 1
+        assert h.submitted_keys == [("G1", "s1")]
+
+    def test_planned_chain_enforced(self):
+        scheme = Scheme4(batch_size=2)
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        # plan: G1 before G2 at s1 (same visit index, admission order)
+        h.push(Ser("G2", site="s1"))
+        assert h.submitted_keys == []
+        h.push(Ser("G1", site="s1"))
+        assert h.submitted_keys == [("G1", "s1")]
+        h.ack("G1", "s1")
+        assert h.submitted_keys == [("G1", "s1"), ("G2", "s1")]
+
+    def test_batch_size_one_degenerates_to_admission_order(self):
+        # every batch is a singleton: Scheme 0's serialize-in-init-order
+        # rule, paid through plan-chain probes instead of FIFO fronts
+        scheme = Scheme4(batch_size=1)
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        assert scheme.metrics.batches_planned == 2
+        h.push(Ser("G2", site="s1"))
+        assert h.submitted_keys == []
+        h.push(Ser("G1", site="s1"))
+        h.ack("G1", "s1")
+        assert h.submitted_keys == [("G1", "s1"), ("G2", "s1")]
+
+    def test_contradictory_site_preferences_drop_one_edge(self):
+        # G1 visits (s1, s2), G2 visits (s2, s1): the per-site arrival
+        # preferences contradict — the planner must drop the
+        # cycle-closing edge and keep one total order
+        scheme = Scheme4(batch_size=2)
+        h = Harness(scheme)
+        h.push(
+            Init("G1", sites=("s1", "s2")),
+            Init("G2", sites=("s2", "s1")),
+        )
+        assert scheme.metrics.batches_planned == 1
+        assert scheme.metrics.plan_edges == 1  # second edge dropped
+        h.push(
+            Ser("G1", site="s1"),
+            Ser("G2", site="s2"),
+            Ser("G2", site="s1"),
+            Ser("G1", site="s2"),
+        )
+        acked = set()
+        for _ in range(4):
+            for ser in list(h.submitted):
+                key = (ser.transaction_id, ser.site)
+                if key not in acked:
+                    acked.add(key)
+                    h.ack(*key)
+        order = {}
+        for txn, site in h.submitted_keys:
+            order.setdefault(site, []).append(txn)
+        assert order["s1"] == order["s2"]
+
+    def test_fin_never_waits(self):
+        scheme = Scheme4(batch_size=2)
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        h.push(Ser("G1", site="s1"))
+        h.ack("G1", "s1")
+        h.push(Ser("G2", site="s1"))
+        h.ack("G2", "s1")
+        h.push(Fin("G2"), Fin("G1"))
+        assert scheme.metrics.waited.get("fin", 0) == 0
+        h.engine.assert_drained()
+
+    def test_purge_splices_chain(self):
+        scheme = Scheme4(batch_size=3)
+        h = Harness(scheme)
+        h.push(
+            Init("G1", sites=("s1",)),
+            Init("G2", sites=("s1",)),
+            Init("G3", sites=("s1",)),
+        )
+        h.push(Ser("G1", site="s1"))
+        h.push(Ser("G2", site="s1"), Ser("G3", site="s1"))
+        assert h.submitted_keys == [("G1", "s1")]
+        # abort G2 mid-chain: G3 must inherit G1 as its predecessor
+        h.engine.purge_transaction("G2")
+        scheme.remove_transaction("G2")
+        assert scheme._pred[("G3", "s1")] == "G1"
+        h.ack("G1", "s1")
+        assert h.submitted_keys == [("G1", "s1"), ("G3", "s1")]
+
+    def test_components_batch_independently(self):
+        scheme = Scheme4(batch_size=2)
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s2",)))
+        # disjoint components: neither buffer reached batch_size
+        assert scheme.metrics.batches_planned == 0
+        h.push(Init("G3", sites=("s1",)))
+        # only the s1 component sealed
+        assert scheme.metrics.batches_planned == 1
+        h.push(Ser("G2", site="s2"))  # demand-seals the s2 component
+        assert scheme.metrics.batches_planned == 2
+        assert ("G2", "s2") in h.submitted_keys
+
+    def test_explain_block_names_plan_position(self):
+        scheme = Scheme4(batch_size=2)
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)), Init("G2", sites=("s1",)))
+        cause = scheme.explain_block(Ser("G2", site="s1"))
+        assert cause == {
+            "type": "batch-plan-order",
+            "site": "s1",
+            "blocking": "G1",
+            "after": "G2",
+            "batch": 0,
+        }
+
+    def test_explain_block_open_batch(self):
+        scheme = Scheme4(batch_size=8)
+        h = Harness(scheme)
+        h.push(Init("G1", sites=("s1",)))
+        cause = scheme.explain_block(Ser("G1", site="s1"))
+        assert cause == {"type": "batch-open", "site": "s1", "after": "G1"}
+
+    def test_batch_size_below_one_rejected(self):
+        with pytest.raises(SchedulerError):
+            Scheme4(batch_size=0)
+
+    def test_unannounced_ser_rejected(self):
+        h = Harness(Scheme4())
+        with pytest.raises(SchedulerError):
+            h.push(Ser("G1", site="s1"))
+
+
+# ----------------------------------------------------------------------
+# scheme 4 property: random batched workloads stay serializable and the
+# committed run is admissible under the ground-truth verifier
+# ----------------------------------------------------------------------
+
+SITE_NAMES = ["s0", "s1", "s2"]
+
+
+@st.composite
+def batched_traces(draw):
+    count = draw(st.integers(1, 8))
+    records = []
+    pending = []
+    for index in range(count):
+        sites = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(SITE_NAMES),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        )
+        records.append(TraceRecord("init", f"G{index}", sites))
+        pending.extend(
+            TraceRecord("ser", f"G{index}", (site,)) for site in sites
+        )
+    indices = draw(st.permutations(range(len(pending))))
+    records.extend(pending[i] for i in indices)
+    return Trace(tuple(records))
+
+
+@st.composite
+def global_workloads(draw):
+    count = draw(st.integers(2, 6))
+    programs = []
+    for index in range(count):
+        sites = draw(
+            st.lists(
+                st.sampled_from(SITE_NAMES),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+        accesses = [
+            (
+                site,
+                draw(st.sampled_from("rw")),
+                draw(st.sampled_from("abc")),
+            )
+            for site in sites
+            for _ in range(draw(st.integers(1, 2)))
+        ]
+        programs.append(GlobalProgram.build(f"G{index}", accesses))
+    return programs
+
+
+class TestScheme4Properties:
+    @given(trace=batched_traces(), batch_size=st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_random_batched_traces_serializable(self, trace, batch_size):
+        """Any arrival order, any batch size: ser(S) serializable, no
+        aborts, every transaction planned and drained."""
+        result = drive(Scheme4(batch_size=batch_size), trace)
+        assert result.ser_schedule.is_serializable()
+        assert result.aborted == ()
+
+    @given(workload=global_workloads(), batch_size=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_batched_workloads_verify(self, workload, batch_size):
+        """End-to-end through real local DBMSs: the committed global
+        schedule must be admissible under the ground-truth verifier."""
+        sites = {
+            name: LocalDBMS(name, make_protocol("strict-2pl"))
+            for name in SITE_NAMES
+        }
+        gtm = GTMSystem(sites, Scheme4(batch_size=batch_size))
+        for program in workload:
+            gtm.submit_global(program)
+        gtm.run()
+        gtm.verify_serializable()
+        assert gtm.ser_schedule.is_serializable()

@@ -135,7 +135,7 @@ def _run_direct(job):
 # ----------------------------------------------------------------------
 # byte identity: SimTransport == hand-driven simulator
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3", "scheme4"])
 @pytest.mark.parametrize("seed", [7, 8, 9, 10])
 def test_sim_transport_matches_direct_simulator(scheme_name, seed):
     """The regression seeds: the sim transport returns the very
@@ -178,7 +178,7 @@ def test_sim_transport_matches_direct_simulator_with_faults():
 # ----------------------------------------------------------------------
 # decision equivalence: sharded == single loop
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3", "scheme4"])
 @pytest.mark.parametrize("seed", [7, 8, 9, 10])
 def test_grouped_cells_shard_equivalently(scheme_name, seed):
     """Four site-disjoint groups, MPL 32 total: the partitioned run
@@ -192,7 +192,7 @@ def test_grouped_cells_shard_equivalently(scheme_name, seed):
     assert sim_result.verification.ok and par_result.verification.ok
 
 
-@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3", "scheme4"])
 def test_multiprocessing_workers_match_sequential_shards(scheme_name):
     """Real worker processes (the production path) return what the
     in-process sequential sharding returns — pickling, snapshot/merge,
@@ -210,7 +210,7 @@ def test_multiprocessing_workers_match_sequential_shards(scheme_name):
     )
 
 
-@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3"])
+@pytest.mark.parametrize("scheme_name", ["scheme2", "scheme3", "scheme4"])
 @pytest.mark.parametrize("seed", [11, 23])
 def test_fault_scenarios_shard_equivalently(scheme_name, seed):
     """Crash + message-fault storms with per-channel fate streams
@@ -285,7 +285,7 @@ def _bridge_program(rng):
 
 @given(
     seed=st.integers(min_value=0, max_value=999),
-    scheme_name=st.sampled_from(["scheme2", "scheme3"]),
+    scheme_name=st.sampled_from(["scheme2", "scheme3", "scheme4"]),
     bridged=st.booleans(),
 )
 @settings(max_examples=15, deadline=None)
