@@ -94,6 +94,10 @@ class Engine(SchemeContext):
         #: optional :class:`repro.core.recovery.Journal` for
         #: crash recovery; logs insertions and processed operations
         self.journal = journal
+        #: schemes whose ``cond`` can mutate DS (Scheme 4 demand-seals
+        #: partial batches inside ``cond_ser``) expose the seals for
+        #: journaling — the act stream alone cannot reproduce them
+        self._seal_drain = getattr(scheme, "drain_seal_log", None)
         self._queue: Deque[QueueOp] = deque()
         #: WAIT, keyed by operation identity in insertion order — O(1)
         #: membership and removal where the old list paid O(|WAIT|)
@@ -232,7 +236,7 @@ class Engine(SchemeContext):
                 break
             operation = self._queue.popleft()
             self._ticks += 1
-            if self.scheme.cond(operation):
+            if self._cond(operation):
                 processed += 1 + self._perform(operation)
             else:
                 self.scheme.metrics.note_waited(operation.kind)
@@ -247,6 +251,18 @@ class Engine(SchemeContext):
             self.wait_area += len(self._wait)
             self.wait_samples += 1
         return processed
+
+    def _cond(self, operation: QueueOp) -> bool:
+        """Evaluate the scheme's ``cond``, journaling any demand-seals
+        it performed: sealing inside a cond is invisible to the act
+        stream, so crash recovery needs its own marker to rebuild the
+        same batch boundaries (see :mod:`repro.core.recovery`)."""
+        held = self.scheme.cond(operation)
+        if self._seal_drain is not None:
+            for token in self._seal_drain():
+                if self.journal is not None:
+                    self.journal.log_sealed(token)
+        return held
 
     def _consume_rescan_request(self) -> bool:
         if getattr(self.scheme, "rescan_requested", False):
@@ -309,7 +325,7 @@ class Engine(SchemeContext):
             for candidate in self._candidates(kind, txn, site):
                 if id(candidate) not in self._wait:
                     continue
-                if self.scheme.cond(candidate):
+                if self._cond(candidate):
                     self._remove_waiting(candidate)
                     waited = self._ticks - self._wait_since.pop(
                         id(candidate), self._ticks
@@ -359,7 +375,7 @@ class Engine(SchemeContext):
             for operation in list(self._wait.values()):
                 if id(operation) not in self._wait:
                     continue  # purged by a reentrant abort
-                if self.scheme.cond(operation):
+                if self._cond(operation):
                     self._remove_waiting(operation)
                     waited = self._ticks - self._wait_since.pop(
                         id(operation), self._ticks
@@ -397,7 +413,7 @@ class Engine(SchemeContext):
                 if not self._matches(operation, hints):
                     self.scheme.metrics.wake_retries_skipped += 1
                     continue
-                if self.scheme.cond(operation):
+                if self._cond(operation):
                     self._remove_waiting(operation)
                     waited = self._ticks - self._wait_since.pop(
                         id(operation), self._ticks

@@ -16,16 +16,27 @@ sequence — plus the QUEUE insertions — makes the scheduler recoverable:
 3. transaction purges (the GTM aborting a global transaction and
    dropping its queued/waiting operations) are logged (``log_purged``)
    so that recovery does not resurrect operations of dead incarnations;
-4. after a crash, :func:`recover_engine` rebuilds a fresh scheme by
+4. cond-time state changes are logged too: Scheme 4 *demand-seals* (plans
+   a partial batch) inside ``cond_ser``, which the act stream cannot
+   reproduce — replaying acts alone would re-buffer the sealed
+   transactions, let a later ``act_init`` refill the buffer, and seal a
+   batch whose planned order can contradict the ser-operations the
+   sites already executed pre-crash.  The engine journals each
+   demand-seal (``log_sealed``) at its position in the processed
+   sequence so replay reproduces the original batch boundaries;
+5. after a crash, :func:`recover_engine` rebuilds a fresh scheme by
    replaying the processed sequence with side effects suppressed (the
    pre-crash submissions already reached the sites), interleaving the
-   logged purges at their original positions, re-enqueues the
-   logged-but-unprocessed operations, and returns a live engine that
-   resumes exactly where the old one stopped.
+   logged purges and demand-seals at their original positions,
+   re-enqueues the logged-but-unprocessed operations, and returns a
+   live engine that resumes exactly where the old one stopped.
 
 The replay is sound because every scheme's ``act`` is deterministic
-given its input sequence, and the journal order *was* a valid processing
-order (each ``cond`` held when its ``act`` ran).
+given its input sequence, the journal order *was* a valid processing
+order (each ``cond`` held when its ``act`` ran), and the only
+``cond``-time mutations any scheme performs are the journaled
+demand-seals (themselves deterministic given the state replay has
+already rebuilt when they are re-applied).
 """
 
 from __future__ import annotations
@@ -54,6 +65,13 @@ class Journal:
     #: ``(processed-position, transaction_id)`` purge markers: the purge
     #: happened after ``processed[:position]`` had been acted on
     purges: List[Tuple[int, str]] = field(default_factory=list)
+    #: ``(processed-position, purges-logged, token)`` demand-seal
+    #: markers: the scheme planned a batch inside a ``cond`` after
+    #: ``processed[:position]`` had been acted on.  ``purges-logged``
+    #: snapshots ``len(purges)`` at log time so replay can interleave
+    #: the two cond-time streams in their original relative order when
+    #: both land between the same pair of acts.
+    seals: List[Tuple[int, int, str]] = field(default_factory=list)
     #: 2PC coordinator decision records, in decision order.  Presumed
     #: abort logs *only* COMMIT decisions — the force-write that must
     #: precede any outgoing COMMIT message; an incarnation absent from
@@ -104,6 +122,15 @@ class Journal:
         """Record that the GTM purged *transaction_id* (all of its
         logged-but-unprocessed operations are dead)."""
         self.purges.append((len(self.processed), transaction_id))
+
+    def log_sealed(self, token: str) -> None:
+        """Record that the scheme sealed (planned) a batch *outside* the
+        act stream — Scheme 4 demand-seals partial batches inside
+        ``cond_ser``.  Size-triggered seals inside ``act_init`` replay
+        deterministically from the processed sequence and are not
+        logged.  *token* identifies the sealed component to the scheme's
+        ``replay_seal`` (Scheme 4 uses the blocked operation's site)."""
+        self.seals.append((len(self.processed), len(self.purges), token))
 
     def log_decision(self, incarnation: str) -> None:
         """Force-log a 2PC COMMIT decision (idempotent).  Presumed
@@ -165,6 +192,11 @@ class Journal:
                 for position, transaction_id in self.purges
                 if position <= processed_upto
             ],
+            seals=[
+                (position, purges_logged, token)
+                for position, purges_logged, token in self.seals
+                if position <= processed_upto
+            ],
             decisions=list(
                 self.decisions
                 if decisions_upto is None
@@ -196,24 +228,45 @@ def replay_scheme(
 ) -> ConservativeScheme:
     """Rebuild *scheme*'s data structures by replaying the journal's
     processed sequence (side effects suppressed), applying the logged
-    purges at the positions where they originally happened."""
+    purges and demand-seals at the positions where they originally
+    happened — so batch boundaries, and hence the rebuilt plan, match
+    the pre-crash ones exactly."""
     context = _ReplayContext()
     scheme.bind(context)
-    purge_at: Dict[int, List[str]] = {}
-    for position, transaction_id in journal.purges:
-        purge_at.setdefault(position, []).append(transaction_id)
+    purge_at: Dict[int, List[Tuple[int, str]]] = {}
+    for purge_index, (position, transaction_id) in enumerate(journal.purges):
+        purge_at.setdefault(position, []).append(
+            (purge_index, transaction_id)
+        )
+    seal_at: Dict[int, List[Tuple[int, str]]] = {}
+    for position, purges_logged, token in getattr(journal, "seals", ()):
+        seal_at.setdefault(position, []).append((purges_logged, token))
     remover = getattr(scheme, "remove_transaction", None)
+    sealer = getattr(scheme, "replay_seal", None)
 
-    def apply_purges(position: int) -> None:
-        if remover is None:
-            return
-        for transaction_id in purge_at.get(position, ()):
-            remover(transaction_id)
+    def apply_cond_time_events(position: int) -> None:
+        """Re-apply what happened between ``processed[position - 1]``
+        and ``processed[position]``: purges and demand-seals, in their
+        original relative order (each seal marker carries the purge
+        count at its log time)."""
+        purges = purge_at.get(position, ())
+        seals = seal_at.get(position, ())
+        cursor = 0
+        for purge_index, transaction_id in purges:
+            while cursor < len(seals) and seals[cursor][0] <= purge_index:
+                if sealer is not None:
+                    sealer(seals[cursor][1])
+                cursor += 1
+            if remover is not None:
+                remover(transaction_id)
+        for _, token in seals[cursor:]:
+            if sealer is not None:
+                sealer(token)
 
     for index, operation in enumerate(journal.processed):
-        apply_purges(index)
+        apply_cond_time_events(index)
         scheme.act(operation)
-    apply_purges(len(journal.processed))
+    apply_cond_time_events(len(journal.processed))
     return scheme
 
 

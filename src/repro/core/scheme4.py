@@ -102,6 +102,10 @@ class Scheme4(ConservativeScheme):
         #: set when a demand-seal happened under a blocked cond — the
         #: engine re-examines WAIT even though nothing was processed
         self.rescan_requested = False
+        #: demand-seal sites since the last ``drain_seal_log``; the
+        #: engine journals them so crash recovery can replay seals that
+        #: fired inside ``cond_ser`` (invisible to the act stream)
+        self._demand_seals: List[str] = []
 
     # -- union-find over sites ---------------------------------------------
     def _find(self, site: str) -> str:
@@ -231,6 +235,7 @@ class Scheme4(ConservativeScheme):
             # workload tail: the batch never filled — seal the partial
             # batch on demand so the component cannot starve
             hints = self._seal(self._find(site))
+            self._demand_seals.append(site)
             predecessor = self._pred.get((transaction_id, site))
             if predecessor is None or (predecessor, site) in self._acked:
                 self._pending_wake.extend(hints)
@@ -244,15 +249,16 @@ class Scheme4(ConservativeScheme):
         self.metrics.step()
         transaction_id = operation.transaction_id
         if transaction_id not in self._batch_of:
-            # journal replay path: recovery reapplies acts without their
-            # conds, so a demand-seal that fired inside cond_ser never
-            # happened in the fresh scheme.  The original seal positions
-            # are not recoverable from the act stream — instead plan the
-            # transaction as a singleton batch at its first replayed
-            # ser, which chains every replayed transaction behind the
-            # tails in execution order: the rebuilt plan is exactly the
-            # order the sites actually saw.  Unreachable live (cond_ser
-            # always plans before granting).
+            # last-resort replay path for journals that predate (or were
+            # hand-built without) demand-seal markers: recovery normally
+            # re-applies every ``log_sealed`` marker at its original
+            # position (see ``replay_seal``), so a replayed ser's
+            # transaction is always planned by the time its act runs.
+            # Without the markers, promote in execution order — a
+            # best-effort plan that can still contradict a pre-crash
+            # size-triggered seal's order, which is exactly why the
+            # seals are journaled.  Unreachable live (cond_ser always
+            # plans before granting).
             self._promote(transaction_id)
         self._executed.add((transaction_id, operation.site))
         self.submit(operation)
@@ -341,6 +347,27 @@ class Scheme4(ConservativeScheme):
                 del self._open[root]
             self.tsgd.remove_transaction(transaction_id)
 
+    # -- crash recovery (journaled demand-seals; see repro.core.recovery) -------
+    def drain_seal_log(self) -> List[str]:
+        """Demand-seal sites recorded since the last drain.  The engine
+        journals them after every ``cond``: a seal inside ``cond_ser``
+        is invisible to the act stream, and replaying acts alone would
+        re-buffer the sealed transactions and let a later ``act_init``
+        refill the buffer and seal a batch whose planned order can
+        contradict pre-crash execution."""
+        drained, self._demand_seals = self._demand_seals, []
+        return drained
+
+    def replay_seal(self, site: str) -> None:
+        """Re-apply a journaled demand-seal during crash recovery.
+        Replay rebuilds the same act prefix, purges, and earlier seals
+        in their original interleaving, so *site*'s component root and
+        buffer contents match the pre-crash seal exactly and the
+        planned batch is identical.  Wake hints are dropped — recovery
+        re-enqueues every unprocessed operation anyway."""
+        if site in self._site_parent:
+            self._seal(self._find(site))
+
     # -- wake hints (the planned-release fast path) -----------------------------
     def wake_hints(self, operation):
         """An ack enables exactly one waiting operation: the planned
@@ -361,7 +388,14 @@ class Scheme4(ConservativeScheme):
     # -- observability ---------------------------------------------------------
     def explain_block(self, operation):
         """Name the plan position that blocks the operation (read-only:
-        no seal, no metric steps)."""
+        no seal, no metric steps).
+
+        The ``batch-open`` cause only answers *ad-hoc* explain queries
+        about a ser the engine has not conded yet (``repro trace
+        --explain`` probing a buffered transaction directly): a WAIT
+        span can never carry it, because ``cond_ser`` demand-seals —
+        and thereby plans — the transaction before reporting False, so
+        every waiting ser's cause is ``batch-plan-order``."""
         if isinstance(operation, Ser):
             transaction_id, site = operation.transaction_id, operation.site
             if transaction_id in self._batch_of:

@@ -41,6 +41,31 @@ class TestParser:
         assert args.experiment == "E14"
         assert "scheme4" in args.schemes
 
+    def test_check_dominance_requires_e14(self):
+        # the ROADMAP claim is only made for the E14 high-MPL regime; a
+        # pass over the default E4 grid must not masquerade as the
+        # dominance claim holding
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--check-dominance", "--seeds", "1"])
+        assert "E14" in str(excinfo.value)
+
+    def test_check_dominance_requires_e14_mpl(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "bench",
+                    "--experiment",
+                    "E14",
+                    "--check-dominance",
+                    "--mpl",
+                    "4",
+                    "--seeds",
+                    "1",
+                ]
+            )
+        message = str(excinfo.value)
+        assert "32" in message and "64" in message
+
 
 class TestCommands:
     def test_simulate_runs_and_verifies(self, capsys):

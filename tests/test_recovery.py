@@ -79,6 +79,27 @@ class TestJournal:
         assert len(cut) == 2
         assert len(journal) == 3
 
+    @pytest.mark.parametrize("purges_logged_at_seal", [0, 1])
+    def test_seal_and_purge_at_same_position_interleave(
+        self, purges_logged_at_seal
+    ):
+        """A purge and a demand-seal can both land between the same two
+        acts; the seal marker's purge-count stamp replays them in their
+        original relative order (seal-before-purge and purge-before-seal
+        both end with G1 gone and only G2 planned)."""
+        journal = Journal(
+            processed=[
+                Init("G1", sites=("s1",)),
+                Init("G2", sites=("s1",)),
+            ],
+            purges=[(2, "G1")],
+            seals=[(2, purges_logged_at_seal, "s1")],
+        )
+        replayed = replay_scheme(Scheme4(batch_size=8), journal)
+        assert replayed._batch_of == {"G2": 0}
+        assert "G1" not in replayed._seq
+        assert replayed._pred[("G2", "s1")] is None
+
 
 @pytest.mark.parametrize("factory", ALL_SCHEMES)
 class TestReplayEquivalence:
@@ -224,6 +245,124 @@ class TestScheme4RecoveryReplanning:
         for op in all_submissions:
             per_site.setdefault(op.site, []).append(op.transaction_id)
         assert per_site["s1"] == per_site["s2"] == ["G5", "G6"]
+
+
+    def test_demand_seal_markers_survive_buffer_refill(self):
+        """Demand-seals are journaled (``Journal.seals``) so replay
+        reproduces the original batch boundaries.  Without the markers,
+        replay re-buffers the demand-sealed T1, T2's replayed init
+        refills the buffer to batch_size, and the spurious seal plans
+        {T1, T2} with order T2 < T1 (T2's visit order wins at site a) —
+        even though site b executed T1 before the crash.  Post-recovery
+        that plan serializes T2 before T1 at site a while site b already
+        serialized T1 first: non-serializable."""
+        journal = Journal()
+        submissions = []
+        engine = Engine(
+            Scheme4(batch_size=2),
+            submit_handler=submissions.append,
+            journal=journal,
+        )
+        # T0@[b]: demand-sealed singleton, executed but not yet acked
+        engine.enqueue(Init("T0", sites=("b",)))
+        engine.enqueue(Ser("T0", site="b"))
+        engine.run()
+        # T1@[b,a]: demand-seals as a singleton; its ser@b waits
+        # behind the unacked T0
+        engine.enqueue(Init("T1", sites=("b", "a")))
+        engine.enqueue(Ser("T1", site="b"))
+        engine.run()
+        # T2@[a,b] inits during the wait (the buffer refills to 1);
+        # acking T0 then releases ser(T1, b)
+        engine.enqueue(Init("T2", sites=("a", "b")))
+        engine.enqueue(Ack("T0", site="b"))
+        engine.run()
+        assert [(op.transaction_id, op.site) for op in submissions] == [
+            ("T0", "b"),
+            ("T1", "b"),
+        ]
+        # both demand-seals were journaled at their positions
+        assert [(position, site) for position, _, site in journal.seals] == [
+            (1, "b"),
+            (3, "b"),
+        ]
+
+        # crash; recover with a fresh scheme
+        all_submissions = list(submissions)
+
+        def on_submit(operation):
+            all_submissions.append(operation)
+            recovered.enqueue(
+                Ack(operation.transaction_id, site=operation.site)
+            )
+
+        recovered = recover_engine(
+            Scheme4(batch_size=2), journal, submit_handler=on_submit
+        )
+        recovered.run()
+        scheme = recovered.scheme
+        # the rebuilt plan matches the pre-crash one: T0 and T1 in
+        # their own demand-sealed batches, T2 still buffered — not
+        # swept into a spurious size-triggered seal during replay
+        assert scheme._batch_of == {"T0": 0, "T1": 1}
+        assert scheme._pred[("T1", "b")] == "T0"
+        # the in-flight ack and the remaining sers finish the run
+        tail = [
+            Ack("T1", site="b"),
+            Ser("T2", site="a"),
+            Ser("T2", site="b"),
+            Ser("T1", site="a"),
+        ]
+        for record in tail:
+            recovered.enqueue(record)
+            recovered.run()
+        for transaction in ("T0", "T1", "T2"):
+            recovered.enqueue(Fin(transaction))
+        recovered.run()
+        recovered.assert_drained()
+        ser = SerSchedule(
+            SerOperation(op.transaction_id, op.site)
+            for op in all_submissions
+        )
+        assert ser.is_serializable()
+        per_site = {}
+        for op in all_submissions:
+            per_site.setdefault(op.site, []).append(op.transaction_id)
+        assert per_site["b"] == ["T0", "T1", "T2"]
+        assert per_site["a"] == ["T1", "T2"]
+
+    def test_replay_without_seal_markers_promotes_in_execution_order(self):
+        """Journals that predate the demand-seal markers still recover
+        (best effort): the act_ser fallback promotes each transaction as
+        a singleton batch at its first replayed ser, chaining the
+        rebuilt plan in execution order."""
+        records = [Init("G5", sites=("s2", "s1")), Ser("G5", site="s2")]
+        journal, _, _, _ = journaled_run(
+            lambda: Scheme4(batch_size=8), records
+        )
+        assert journal.seals  # the demand-seal was journaled...
+        journal.seals.clear()  # ...but this journal predates the field
+        replayed = replay_scheme(Scheme4(batch_size=8), journal)
+        assert "G5" in replayed._batch_of
+        assert replayed._pred[("G5", "s2")] is None
+
+    def test_truncate_keeps_seal_markers(self):
+        journal = Journal()
+        submissions = []
+        engine = Engine(
+            Scheme4(batch_size=4),
+            submit_handler=submissions.append,
+            journal=journal,
+        )
+        engine.enqueue(Init("G1", sites=("s1",)))
+        engine.enqueue(Ser("G1", site="s1"))
+        engine.run()
+        assert journal.seals == [(1, 0, "s1")]
+        cut = journal.truncate(2, 1)
+        # the seal fired before act #1 ran, so it survives a crash that
+        # lost everything after processed[:1]
+        assert cut.seals == [(1, 0, "s1")]
+        assert journal.truncate(1, 0).seals == []
 
 
 class TestRecoverIsRecoverable:
